@@ -1,0 +1,87 @@
+package tapejuke
+
+import (
+	"fmt"
+
+	"tapejuke/internal/core"
+	"tapejuke/internal/sched"
+)
+
+// Scheduler is a retrieval-scheduling algorithm: a major rescheduler that
+// picks a tape and builds a service list at tape-switch time, plus an
+// incremental scheduler for requests arriving mid-sweep.
+type Scheduler = sched.Scheduler
+
+// Algorithm names a scheduling algorithm from the paper.
+type Algorithm string
+
+// The fourteen algorithms of Section 3. FIFO is the baseline; the five
+// static and five dynamic algorithms differ in their tape-selection policy;
+// the three envelope algorithms are the paper's contribution (Section 3.2).
+const (
+	FIFO Algorithm = "fifo"
+
+	StaticRoundRobin         Algorithm = "static-round-robin"
+	StaticMaxRequests        Algorithm = "static-max-requests"
+	StaticMaxBandwidth       Algorithm = "static-max-bandwidth"
+	StaticOldestMaxRequests  Algorithm = "static-oldest-max-requests"
+	StaticOldestMaxBandwidth Algorithm = "static-oldest-max-bandwidth"
+
+	DynamicRoundRobin         Algorithm = "dynamic-round-robin"
+	DynamicMaxRequests        Algorithm = "dynamic-max-requests"
+	DynamicMaxBandwidth       Algorithm = "dynamic-max-bandwidth"
+	DynamicOldestMaxRequests  Algorithm = "dynamic-oldest-max-requests"
+	DynamicOldestMaxBandwidth Algorithm = "dynamic-oldest-max-bandwidth"
+
+	EnvelopeOldestRequest Algorithm = "envelope-oldest-request"
+	EnvelopeMaxRequests   Algorithm = "envelope-max-requests"
+	EnvelopeMaxBandwidth  Algorithm = "envelope-max-bandwidth"
+)
+
+// Algorithms lists every available algorithm in presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		FIFO,
+		StaticRoundRobin, StaticMaxRequests, StaticMaxBandwidth,
+		StaticOldestMaxRequests, StaticOldestMaxBandwidth,
+		DynamicRoundRobin, DynamicMaxRequests, DynamicMaxBandwidth,
+		DynamicOldestMaxRequests, DynamicOldestMaxBandwidth,
+		EnvelopeOldestRequest, EnvelopeMaxRequests, EnvelopeMaxBandwidth,
+	}
+}
+
+// NewScheduler instantiates a fresh scheduler for the named algorithm.
+// Scheduler instances are stateful and must not be shared across runs.
+func NewScheduler(a Algorithm) (Scheduler, error) {
+	switch a {
+	case FIFO:
+		return sched.NewFIFO(), nil
+	case StaticRoundRobin:
+		return sched.NewStatic(sched.RoundRobin), nil
+	case StaticMaxRequests:
+		return sched.NewStatic(sched.MaxRequests), nil
+	case StaticMaxBandwidth:
+		return sched.NewStatic(sched.MaxBandwidth), nil
+	case StaticOldestMaxRequests:
+		return sched.NewStatic(sched.OldestMaxRequests), nil
+	case StaticOldestMaxBandwidth:
+		return sched.NewStatic(sched.OldestMaxBandwidth), nil
+	case DynamicRoundRobin:
+		return sched.NewDynamic(sched.RoundRobin), nil
+	case DynamicMaxRequests:
+		return sched.NewDynamic(sched.MaxRequests), nil
+	case DynamicMaxBandwidth:
+		return sched.NewDynamic(sched.MaxBandwidth), nil
+	case DynamicOldestMaxRequests:
+		return sched.NewDynamic(sched.OldestMaxRequests), nil
+	case DynamicOldestMaxBandwidth:
+		return sched.NewDynamic(sched.OldestMaxBandwidth), nil
+	case EnvelopeOldestRequest:
+		return core.NewEnvelope(core.OldestRequest), nil
+	case EnvelopeMaxRequests:
+		return core.NewEnvelope(core.MaxRequests), nil
+	case EnvelopeMaxBandwidth:
+		return core.NewEnvelope(core.MaxBandwidth), nil
+	}
+	return nil, fmt.Errorf("tapejuke: unknown algorithm %q", a)
+}

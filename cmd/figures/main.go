@@ -1,0 +1,115 @@
+// Command figures regenerates the paper's evaluation figures (1 and 3-10)
+// as tab-separated series.
+//
+// Usage:
+//
+//	figures                 # all figures at the default 1M s horizon
+//	figures -fig fig6       # one figure
+//	figures -quick          # 200k s horizon (coarse but fast)
+//	figures -full           # the paper's 10M s horizon
+//	figures -open           # open-queuing variants of the parametric figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tapejuke/figures"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "regenerate a single figure (fig1, fig3..fig9, fig10a, fig10b)")
+		quick   = flag.Bool("quick", false, "200,000 s horizon")
+		full    = flag.Bool("full", false, "the paper's 10,000,000 s horizon")
+		open    = flag.Bool("open", false, "open-queuing (Poisson) variants")
+		horizon = flag.Float64("horizon", 0, "explicit horizon in simulated seconds")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "concurrent simulations (default GOMAXPROCS)")
+		svgDir  = flag.String("svg", "", "also render each figure as an SVG chart into this directory")
+		reps    = flag.Int("reps", 1, "replications per point (reports 95% confidence half-widths)")
+	)
+	flag.Parse()
+
+	opts := figures.Options{Seed: *seed, Open: *open, Workers: *workers, Replications: *reps}
+	switch {
+	case *horizon > 0:
+		opts.HorizonSec = *horizon
+	case *quick:
+		opts.HorizonSec = 200_000
+	case *full:
+		opts.HorizonSec = 10_000_000
+	}
+
+	var figs []*figures.Figure
+	var err error
+	if *fig != "" {
+		var f *figures.Figure
+		f, err = figures.ByID(*fig, opts)
+		figs = []*figures.Figure{f}
+	} else {
+		figs, err = figures.All(opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			path := filepath.Join(*svgDir, f.ID+".svg")
+			out, err := os.Create(path)
+			if err == nil {
+				err = f.RenderSVG(out, figures.PlotAuto)
+				if cerr := out.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+
+	for _, f := range figs {
+		fmt.Printf("# %s: %s\n", f.ID, f.Title)
+		valueCol := f.ValueName
+		if valueCol == "" {
+			valueCol = "-"
+		}
+		hasCI := *reps > 1
+		for _, r := range f.Rows {
+			if r.ThroughputCI95 > 0 || r.ResponseCI95 > 0 {
+				hasCI = true
+				break
+			}
+		}
+		if hasCI {
+			fmt.Printf("figure\tseries\t%s\tthroughput_kbps\tthroughput_ci95\treq_per_min\tmean_response_s\tresponse_ci95\t%s\n",
+				f.ParamName, valueCol)
+			for _, r := range f.Rows {
+				fmt.Printf("%s\t%s\t%g\t%.2f\t%.2f\t%.4f\t%.1f\t%.1f\t%.4f\n",
+					f.ID, r.Series, r.Param,
+					r.ThroughputKBps, r.ThroughputCI95, r.RequestsPerMinute,
+					r.MeanResponseSec, r.ResponseCI95, r.Value)
+			}
+		} else {
+			fmt.Printf("figure\tseries\t%s\tthroughput_kbps\treq_per_min\tmean_response_s\t%s\n",
+				f.ParamName, valueCol)
+			for _, r := range f.Rows {
+				fmt.Printf("%s\t%s\t%g\t%.2f\t%.4f\t%.1f\t%.4f\n",
+					f.ID, r.Series, r.Param,
+					r.ThroughputKBps, r.RequestsPerMinute, r.MeanResponseSec, r.Value)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,155 @@
+// Command jukesim runs a single tape-jukebox simulation and prints its
+// metrics.
+//
+// Usage examples:
+//
+//	jukesim                                  # paper defaults
+//	jukesim -alg envelope-max-bandwidth -nr 9 -sp 1 -placement vertical
+//	jukesim -interarrival 120 -queue 0       # open-queuing model
+//	jukesim -format csv
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tapejuke"
+)
+
+func main() {
+	var (
+		alg         = flag.String("alg", string(tapejuke.DynamicMaxBandwidth), "scheduling algorithm (see -list)")
+		list        = flag.Bool("list", false, "list available algorithms and exit")
+		profile     = flag.String("profile", "exb8505xl", "drive profile: exb8505xl, fast, or dlt7000")
+		blockMB     = flag.Float64("block", 16, "transfer size in MB")
+		tapes       = flag.Int("tapes", 10, "tapes in the jukebox")
+		drives      = flag.Int("drives", 1, "drives sharing the tapes (multi-drive extension)")
+		capMB       = flag.Float64("cap", 7168, "tape capacity in MB")
+		ph          = flag.Float64("ph", 10, "percent of data that is hot (PH)")
+		rh          = flag.Float64("rh", 40, "percent of requests to hot data (RH)")
+		zipf        = flag.Float64("zipf", 0, "Zipf popularity exponent (>1; 0 = paper's hot/cold model)")
+		dataMB      = flag.Float64("data", 0, "base data volume in MB (0 = fill the jukebox)")
+		nr          = flag.Int("nr", 0, "replicas of each hot block (NR)")
+		placement   = flag.String("placement", "horizontal", "hot layout: horizontal or vertical")
+		sp          = flag.Float64("sp", 0, "hot region start position in [0,1] (SP)")
+		queue       = flag.Int("queue", 60, "closed-model queue length (0 with -interarrival)")
+		interarrive = flag.Float64("interarrival", 0, "open-model mean interarrival seconds (0 = closed)")
+		horizon     = flag.Float64("horizon", 2e6, "simulated seconds")
+		seed        = flag.Int64("seed", 1, "random seed")
+		writeEvery  = flag.Float64("write-interarrival", 0, "mean seconds between delta writes (0 = no writes)")
+		writePolicy = flag.String("write-policy", "piggyback", "delta flush policy: piggyback, idle-only, piggyback+idle")
+		format      = flag.String("format", "text", "output format: text or csv")
+		analytic    = flag.Bool("analytic", false, "also print the closed-form estimate (no-replication closed models)")
+		configPath  = flag.String("config", "", "load the full configuration from a JSON file (other workload flags are ignored)")
+		dump        = flag.Bool("dump", false, "print the effective configuration as JSON and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range tapejuke.Algorithms() {
+			fmt.Println(a)
+		}
+		return
+	}
+
+	cfg := tapejuke.Config{
+		DriveProfile:        *profile,
+		BlockMB:             *blockMB,
+		TapeCapMB:           *capMB,
+		Tapes:               *tapes,
+		Drives:              *drives,
+		HotPercent:          *ph,
+		ReadHotPercent:      *rh,
+		ZipfS:               *zipf,
+		DataMB:              *dataMB,
+		Replicas:            *nr,
+		Placement:           tapejuke.Placement(*placement),
+		StartPos:            *sp,
+		Algorithm:           tapejuke.Algorithm(*alg),
+		QueueLength:         *queue,
+		MeanInterarrivalSec: *interarrive,
+		HorizonSec:          *horizon,
+		Seed:                *seed,
+		Writes: tapejuke.WriteConfig{
+			MeanInterarrivalSec: *writeEvery,
+			Policy:              tapejuke.WritePolicy(*writePolicy),
+		},
+	}
+	if *interarrive > 0 {
+		cfg.QueueLength = 0
+	}
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jukesim:", err)
+			os.Exit(1)
+		}
+		cfg = tapejuke.Config{}
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "jukesim: parsing config:", err)
+			os.Exit(1)
+		}
+	}
+	if *dump {
+		out, err := json.MarshalIndent(cfg.WithDefaults(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jukesim:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+
+	res, err := tapejuke.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jukesim:", err)
+		os.Exit(1)
+	}
+
+	if *analytic {
+		if cfg.MeanInterarrivalSec > 0 {
+			a, err := tapejuke.AssessOpenLoad(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jukesim: analytic assessment unavailable:", err)
+			} else {
+				state := "light"
+				if a.Saturated {
+					state = "SATURATED (backlog diverges)"
+				}
+				fmt.Printf("analytic assessment  offered %.1f KB/s vs ceiling %.1f KB/s (utilization %.2f, %s)\n",
+					a.OfferedKBps, a.SaturationKBps, a.Utilization, state)
+			}
+		} else {
+			est, err := tapejuke.Analyze(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jukesim: analytic estimate unavailable:", err)
+			} else {
+				fmt.Printf("analytic estimate    %.1f KB/s (%.1f requests per sweep, %.0f s cycle)\n",
+					est.ThroughputKBps, est.RequestsPerSweep, est.CycleSeconds)
+			}
+		}
+	}
+
+	switch strings.ToLower(*format) {
+	case "csv":
+		fmt.Println("scheduler,throughput_kbps,req_per_min,mean_response_s,p95_response_s,tape_switches,mean_queue")
+		fmt.Printf("%s,%.2f,%.4f,%.1f,%.1f,%d,%.1f\n",
+			res.SchedulerName, res.ThroughputKBps, res.RequestsPerMinute,
+			res.MeanResponseSec, res.P95ResponseSec, res.TapeSwitches, res.MeanQueueLen)
+	default:
+		stream, _ := tapejuke.StreamingRateKBps(*profile)
+		fmt.Printf("scheduler            %s\n", res.SchedulerName)
+		fmt.Printf("simulated            %.0f s (%.0f s measured after warm-up)\n", res.SimSeconds, res.MeasuredSeconds)
+		fmt.Printf("completed            %d requests (%d switches)\n", res.Completed, res.TapeSwitches)
+		fmt.Printf("throughput           %.1f KB/s (%.1f%% of streaming)\n", res.ThroughputKBps, 100*res.ThroughputKBps/stream)
+		fmt.Printf("requests/minute      %.3f\n", res.RequestsPerMinute)
+		fmt.Printf("response time        mean %.1f s, p95 %.1f s, max %.1f s\n",
+			res.MeanResponseSec, res.P95ResponseSec, res.MaxResponseSec)
+		fmt.Printf("time breakdown       locate %.0f s, read %.0f s, switch %.0f s, idle %.0f s\n",
+			res.LocateSeconds, res.ReadSeconds, res.SwitchSeconds, res.IdleSeconds)
+		fmt.Printf("mean queue length    %.1f\n", res.MeanQueueLen)
+	}
+}

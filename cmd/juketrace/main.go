@@ -1,0 +1,146 @@
+// Command juketrace records a simulation's event stream to a JSON-lines
+// trace file and summarizes recorded traces, the way an operator would
+// inspect a real jukebox's activity log.
+//
+// Usage:
+//
+//	juketrace record -out run.trace [-alg ... -queue ... -horizon ...]
+//	juketrace summarize run.trace
+//	juketrace verify run.trace     # replay against the timing model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tapejuke"
+	"tapejuke/internal/tapemodel"
+	"tapejuke/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "summarize":
+		summarize(os.Args[2:])
+	case "verify":
+		verify(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: juketrace record -out FILE [flags] | juketrace summarize FILE | juketrace verify FILE")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		out     = fs.String("out", "run.trace", "trace output file")
+		alg     = fs.String("alg", string(tapejuke.EnvelopeMaxBandwidth), "scheduling algorithm")
+		queue   = fs.Int("queue", 60, "closed-model queue length")
+		nr      = fs.Int("nr", 0, "replicas of each hot block")
+		horizon = fs.Float64("horizon", 500_000, "simulated seconds")
+		seed    = fs.Int64("seed", 1, "random seed")
+	)
+	fs.Parse(args)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	rec := trace.NewRecorder(f)
+	cfg := tapejuke.Config{
+		Algorithm:   tapejuke.Algorithm(*alg),
+		QueueLength: *queue,
+		Replicas:    *nr,
+		HorizonSec:  *horizon,
+		Seed:        *seed,
+		Observer:    rec,
+	}
+	if *nr > 0 {
+		cfg.Placement = tapejuke.Vertical
+		cfg.StartPos = 1
+	}
+	res, err := tapejuke.Run(cfg.WithDefaults())
+	if err != nil {
+		fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %d events to %s (%d completions, %.1f KB/s)\n",
+		rec.Count(), *out, res.TotalCompleted, res.ThroughputKBps)
+}
+
+func summarize(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	trace.Summarize(recs).Format(os.Stdout)
+}
+
+func verify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	var (
+		profile = fs.String("profile", "exb8505xl", "drive profile the trace was recorded with")
+		blockMB = fs.Float64("block", 16, "transfer size in MB")
+		tapes   = fs.Int("tapes", 10, "tapes in the jukebox")
+		capMB   = fs.Float64("cap", 7168, "tape capacity in MB")
+		tol     = fs.Float64("tol", 1e-6, "tolerance in seconds")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	prof := tapemodel.PositionerByName(*profile)
+	if prof == nil {
+		fatal(fmt.Errorf("unknown profile %q", *profile))
+	}
+	rep, err := trace.Verify(recs, prof, *blockMB, *tapes, int(*capMB / *blockMB), *tol)
+	if err != nil {
+		fatal(err)
+	}
+	if rep.OK() {
+		fmt.Printf("ok: %d operations replayed, all durations match the %s model\n",
+			rep.Operations, *profile)
+		return
+	}
+	fmt.Printf("FAILED: %d of %d operations disagree (max error %.3f s)\n",
+		rep.Mismatches, rep.Operations, rep.MaxError)
+	fmt.Println(rep.First)
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "juketrace:", err)
+	os.Exit(1)
+}

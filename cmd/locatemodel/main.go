@@ -1,0 +1,63 @@
+// Command locatemodel prints the tape positioning model of Figure 1: the
+// fitted locate-time segments and a table of locate times by distance, for
+// any registered drive profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tapejuke/internal/tapemodel"
+)
+
+func main() {
+	profile := flag.String("profile", "exb8505xl", "drive profile: exb8505xl, fast, or dlt7000")
+	maxMB := flag.Float64("max", 7168, "largest distance to tabulate, in MB")
+	flag.Parse()
+
+	pos := tapemodel.PositionerByName(*profile)
+	if pos == nil {
+		fmt.Fprintf(os.Stderr, "locatemodel: unknown profile %q\n", *profile)
+		os.Exit(1)
+	}
+	p, helical := pos.(*tapemodel.Profile)
+	if !helical {
+		s := pos.(*tapemodel.Serpentine)
+		fmt.Printf("# %s\n", s.Name)
+		fmt.Printf("# %d tracks x %.0f MB; seek %.1f s + distance/%.0f MBps + %.1f s per track step\n",
+			s.Tracks, s.TrackMB, s.SeekStartup, s.SeekRateMB, s.TrackStep)
+		fmt.Printf("# read: %.2f + %.2f*k s; switch %.0f s; streaming %.0f KB/s\n",
+			s.ReadRate.Startup, s.ReadRate.PerMB, s.SwitchTime(), s.StreamingRateMBps()*1024)
+		fmt.Println()
+		fmt.Println("from_mb\tto_mb\tlocate_s")
+		for d := 1.0; d <= *maxMB; d *= 2 {
+			sec, _ := s.Locate(0, d)
+			fmt.Printf("0\t%.0f\t%.3f\n", d, sec)
+		}
+		return
+	}
+
+	fmt.Printf("# %s\n", p.Name)
+	fmt.Printf("# forward locate:  %.3f + %.4f*k s (k <= %.0f MB), else %.3f + %.4f*k s\n",
+		p.ShortForward.Startup, p.ShortForward.PerMB, p.ShortMaxMB,
+		p.LongForward.Startup, p.LongForward.PerMB)
+	fmt.Printf("# reverse locate:  %.3f + %.4f*k s (k <= %.0f MB), else %.3f + %.4f*k s\n",
+		p.ShortReverse.Startup, p.ShortReverse.PerMB, p.ShortMaxMB,
+		p.LongReverse.Startup, p.LongReverse.PerMB)
+	fmt.Printf("# locate to BOT:   +%.0f s\n", p.BOTOverhead)
+	fmt.Printf("# read after fwd:  %.2f + %.2f*k s; after rev: %.2f + %.2f*k s\n",
+		p.ReadForward.Startup, p.ReadForward.PerMB,
+		p.ReadReverse.Startup, p.ReadReverse.PerMB)
+	fmt.Printf("# tape switch:     %.0f s eject + %.0f s robot + %.0f s load = %.0f s\n",
+		p.EjectTime, p.RobotTime, p.LoadTime, p.SwitchTime())
+	fmt.Printf("# streaming rate:  %.0f KB/s\n", p.StreamingRateMBps()*1024)
+	fmt.Println()
+	fmt.Println("distance_mb\tforward_s\treverse_s")
+	for d := 1.0; d <= *maxMB; d *= 2 {
+		fmt.Printf("%.0f\t%.3f\t%.3f\n", d, p.LocateForward(d), p.LocateReverse(d))
+	}
+	if *maxMB > 1 {
+		fmt.Printf("%.0f\t%.3f\t%.3f\n", *maxMB, p.LocateForward(*maxMB), p.LocateReverse(*maxMB))
+	}
+}

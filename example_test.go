@@ -1,0 +1,61 @@
+package tapejuke_test
+
+import (
+	"fmt"
+
+	"tapejuke"
+)
+
+// Simulate the paper's reference jukebox with full replication of hot data
+// at the tape ends, scheduled by the envelope-extension algorithm.
+func ExampleRun() {
+	cfg := tapejuke.Config{
+		Algorithm:  tapejuke.EnvelopeMaxBandwidth,
+		Placement:  tapejuke.Vertical,
+		Replicas:   9,
+		StartPos:   1,
+		HorizonSec: 200_000,
+	}.WithDefaults()
+
+	res, err := tapejuke.Run(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("scheduler: %s\n", res.SchedulerName)
+	fmt.Printf("served %d requests\n", res.Completed)
+	// Output:
+	// scheduler: envelope-max-bandwidth
+	// served 3162 requests
+}
+
+// The storage expansion factor of Figure 10a is a one-liner.
+func ExampleConfig_ExpansionFactor() {
+	cfg := tapejuke.Config{HotPercent: 10, Replicas: 9}
+	fmt.Printf("E = %.1f\n", cfg.ExpansionFactor())
+	// Output:
+	// E = 1.9
+}
+
+// Analyze cross-checks a configuration against the closed-form model
+// without running the simulator.
+func ExampleAnalyze() {
+	cfg := tapejuke.Config{QueueLength: 60}.WithDefaults()
+	est, err := tapejuke.Analyze(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("about %.0f requests per tape visit\n", est.RequestsPerSweep)
+	// Output:
+	// about 12 requests per tape visit
+}
+
+// Algorithms enumerates every scheduler from the paper.
+func ExampleAlgorithms() {
+	fmt.Println(len(tapejuke.Algorithms()), "algorithms, best first among envelopes:")
+	fmt.Println(tapejuke.EnvelopeMaxBandwidth)
+	// Output:
+	// 14 algorithms, best first among envelopes:
+	// envelope-max-bandwidth
+}

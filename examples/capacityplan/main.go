@@ -1,0 +1,82 @@
+// Capacityplan reproduces the decision procedure of Section 4.8 as a
+// planning tool: given a jukebox farm and a workload skew, how many
+// replicas of hot data pay for themselves?
+//
+// For each replica count it reports the storage expansion factor, the
+// per-jukebox throughput with the workload spread across the enlarged farm
+// (queue 60/E), and the cost-performance ratio against the non-replicated
+// baseline. It then prints the paper's recommendation for the measured
+// skew.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tapejuke"
+)
+
+func main() {
+	const baseQueue = 60
+
+	for _, rh := range []float64{40, 80} {
+		skew := "moderate"
+		if rh >= 70 {
+			skew = "high"
+		}
+		fmt.Printf("Skew: %.0f%% of requests to the hot 10%% of data (%s skew)\n", rh, skew)
+		fmt.Printf("  %-3s %-6s %-7s %-12s %-10s\n", "NR", "E", "queue", "KB/s per box", "cost-perf")
+
+		var baseline *tapejuke.Result
+		best, bestNR := 0.0, 0
+		for nr := 0; nr <= 9; nr++ {
+			cfg := tapejuke.Config{
+				Algorithm:      tapejuke.EnvelopeMaxBandwidth,
+				HotPercent:     10,
+				ReadHotPercent: rh,
+				Replicas:       nr,
+				HorizonSec:     1_000_000,
+			}
+			if nr > 0 {
+				cfg.Placement = tapejuke.Vertical
+				cfg.StartPos = 1 // replicas at the tape ends (Section 4.5)
+			}
+			e := cfg.ExpansionFactor()
+			q, err := tapejuke.ScaledQueueLength(baseQueue, e)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.QueueLength = q
+
+			res, err := tapejuke.Run(cfg.WithDefaults())
+			if err != nil {
+				log.Fatal(err)
+			}
+			ratio := 1.0
+			if nr == 0 {
+				baseline = res
+			} else {
+				ratio, err = tapejuke.CostPerformanceRatio(res, baseline)
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+			if ratio > best {
+				best, bestNR = ratio, nr
+			}
+			fmt.Printf("  %-3d %-6.2f %-7d %-12.1f %-10.3f\n",
+				nr, e, q, res.ThroughputKBps, ratio)
+		}
+
+		switch {
+		case best > 1.02:
+			fmt.Printf("  => replicate: NR=%d improves performance per dollar by %.0f%%.\n",
+				bestNR, (best-1)*100)
+		case best >= 0.98:
+			fmt.Println("  => cost-neutral: replicate into spare capacity only (free speedup).")
+		default:
+			fmt.Println("  => do not buy capacity for replicas; use spare space if it exists.")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,50 @@
+// Modelcheck cross-validates the two independent performance models in
+// this repository: the discrete-event simulator (Run) and the closed-form
+// analytic estimate (Analyze). They implement the same physics by entirely
+// different means, so their agreement is evidence that both are right --
+// the same methodology the paper uses when it validates its locate-time
+// model against hardware measurements before trusting the simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tapejuke"
+)
+
+func main() {
+	fmt.Println("Closed-form analysis vs. event-driven simulation")
+	fmt.Println("(uniform access, no replication, static fair rotation assumed by the model)")
+	fmt.Println()
+	fmt.Printf("%8s %14s %14s %10s %22s\n",
+		"queue", "analytic KB/s", "simulated KB/s", "delta", "batch (model vs sim)")
+
+	for _, queue := range []int{20, 40, 60, 80, 100, 120, 140} {
+		cfg := tapejuke.Config{
+			HotPercent:  0, // uniform: the regime the closed form models best
+			Algorithm:   tapejuke.StaticRoundRobin,
+			QueueLength: queue,
+			HorizonSec:  600_000,
+		}.WithDefaults()
+
+		est, err := tapejuke.Analyze(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tapejuke.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		simBatch := float64(res.Completed) / float64(res.TapeSwitches)
+		delta := 100 * (res.ThroughputKBps - est.ThroughputKBps) / est.ThroughputKBps
+		fmt.Printf("%8d %14.1f %14.1f %9.1f%% %10.1f vs %.1f\n",
+			queue, est.ThroughputKBps, res.ThroughputKBps, delta,
+			est.RequestsPerSweep, simBatch)
+	}
+
+	fmt.Println()
+	fmt.Println("The sawtooth batch model (k = 2*queue/tapes) and the sweep-extent")
+	fmt.Println("formula E[max of k] track the simulator within a few percent across")
+	fmt.Println("the whole intensity range -- before any scheduling cleverness.")
+}

@@ -1,0 +1,36 @@
+// Quickstart: simulate the paper's reference jukebox (ten 7 GB tapes, one
+// Exabyte EXB-8505XL drive) under a moderately skewed closed workload with
+// the recommended scheduler, and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tapejuke"
+)
+
+func main() {
+	// Start from the paper's defaults: 16 MB blocks, PH-10/RH-40 skew,
+	// closed queue of 60, 2M simulated seconds.
+	cfg := tapejuke.Config{
+		Algorithm: tapejuke.EnvelopeMaxBandwidth, // best overall (Section 4.6)
+	}.WithDefaults()
+
+	res, err := tapejuke.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stream, err := tapejuke.StreamingRateKBps(cfg.DriveProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheduler:       %s\n", res.SchedulerName)
+	fmt.Printf("throughput:      %.1f KB/s (%.0f%% of the drive's %.0f KB/s streaming rate)\n",
+		res.ThroughputKBps, 100*res.ThroughputKBps/stream, stream)
+	fmt.Printf("requests/minute: %.3f\n", res.RequestsPerMinute)
+	fmt.Printf("mean response:   %.0f s   p95: %.0f s\n", res.MeanResponseSec, res.P95ResponseSec)
+	fmt.Printf("tape switches:   %d over %.0f measured seconds\n", res.TapeSwitches, res.MeasuredSeconds)
+}

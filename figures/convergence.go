@@ -1,0 +1,47 @@
+package figures
+
+import (
+	"fmt"
+
+	"tapejuke"
+)
+
+// Convergence is a methodology figure (not in the paper): throughput and
+// mean response of the reference configuration as a function of the
+// simulated horizon, with replications, showing where the estimators
+// stabilize. The paper runs 10,000,000 s per point; this figure documents
+// how much shorter horizons change the answers (very little beyond ~1M s),
+// which justifies this repository's faster defaults.
+func Convergence(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	if o.Replications < 3 {
+		o.Replications = 3
+	}
+	horizons := []float64{100_000, 300_000, 1_000_000, 3_000_000, 10_000_000}
+	var jobs []job
+	for _, alg := range []tapejuke.Algorithm{
+		tapejuke.DynamicMaxBandwidth, tapejuke.EnvelopeMaxBandwidth,
+	} {
+		for _, h := range horizons {
+			cfg := base(o)
+			cfg.Algorithm = alg
+			cfg.HorizonSec = h
+			if alg == tapejuke.EnvelopeMaxBandwidth {
+				cfg.Placement = tapejuke.Vertical
+				cfg.Replicas = 9
+				cfg.StartPos = 1
+			}
+			jobs = append(jobs, job{series: string(alg), param: h, cfg: cfg})
+		}
+	}
+	rows, err := runAll(jobs, o.Workers, o.Replications)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:        "convergence",
+		Title:     fmt.Sprintf("Estimator convergence with the simulated horizon (%d replications)", o.Replications),
+		ParamName: "horizon_s",
+		Rows:      rows,
+	}, nil
+}

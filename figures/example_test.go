@@ -1,0 +1,23 @@
+package figures_test
+
+import (
+	"fmt"
+
+	"tapejuke/figures"
+)
+
+// Regenerate one paper figure at a reduced horizon and read a point off it.
+func ExampleByID() {
+	f, err := figures.ByID("fig10a", figures.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, r := range f.Rows {
+		if r.Series == "PH-10" && r.Param == 9 {
+			fmt.Printf("E(PH-10, NR-9) = %.1f\n", r.Value)
+		}
+	}
+	// Output:
+	// E(PH-10, NR-9) = 1.9
+}

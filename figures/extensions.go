@@ -1,0 +1,121 @@
+package figures
+
+import (
+	"fmt"
+
+	"tapejuke"
+)
+
+// The figures in this file are extension studies beyond the paper,
+// registered alongside the reproduction figures so cmd/figures can
+// regenerate every number in EXPERIMENTS.md.
+
+// Serpentine compares placements and schedulers on the synthetic DLT-class
+// serpentine drive -- the technology the paper excludes. Two stories in one
+// figure: hot-data placement barely matters on serpentine geometry (series
+// "dyn-SP0" vs "dyn-SP1"), while replication plus the envelope scheduler
+// still wins ("env-NR9" vs both).
+func Serpentine(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	mk := func(label string, mut func(*tapejuke.Config)) []job {
+		var jobs []job
+		for i := range o.QueueLengths {
+			cfg := base(o)
+			cfg.DriveProfile = "dlt7000"
+			mut(&cfg)
+			p := applyIntensity(&cfg, o, i)
+			jobs = append(jobs, job{series: label, param: p, cfg: cfg})
+		}
+		return jobs
+	}
+	var jobs []job
+	jobs = append(jobs, mk("dyn-SP0", func(c *tapejuke.Config) { c.StartPos = 0 })...)
+	jobs = append(jobs, mk("dyn-SP1", func(c *tapejuke.Config) { c.StartPos = 1 })...)
+	jobs = append(jobs, mk("env-NR9", func(c *tapejuke.Config) {
+		c.Algorithm = tapejuke.EnvelopeMaxBandwidth
+		c.Placement = tapejuke.Vertical
+		c.Replicas = 9
+		c.StartPos = 1
+	})...)
+	rows, err := runAll(jobs, o.Workers, o.Replications)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:        "serpentine",
+		Title:     "Extension: placement and replication on a serpentine (DLT-class) drive",
+		ParamName: intensityName(o),
+		Rows:      rows,
+	}, nil
+}
+
+// MultiDrive sweeps the drive count of the jukebox (the paper's future
+// work) across workload intensities.
+func MultiDrive(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	var jobs []job
+	for _, drives := range []int{1, 2, 3, 4} {
+		for i := range o.QueueLengths {
+			cfg := base(o)
+			cfg.Drives = drives
+			p := applyIntensity(&cfg, o, i)
+			jobs = append(jobs, job{series: fmt.Sprintf("drives-%d", drives), param: p, cfg: cfg})
+		}
+	}
+	rows, err := runAll(jobs, o.Workers, o.Replications)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:        "multidrive",
+		Title:     "Extension: multi-drive jukebox scaling (shared tapes, shared pending list)",
+		ParamName: intensityName(o),
+		Rows:      rows,
+	}, nil
+}
+
+// GradualFill regenerates the Section 4.8 lifecycle table: the recommended
+// layout versus the naive one at each occupancy, under the envelope
+// scheduler. Row.Value carries the plan's replica count.
+func GradualFill(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	capacityMB := 10 * 7168.0
+	var jobs []job
+	for _, fill := range []float64{0.2, 0.4, 0.6, 0.8, 0.9, 0.97, 1.0} {
+		planned := tapejuke.Config{
+			Algorithm:  tapejuke.EnvelopeMaxBandwidth,
+			DataMB:     fill * capacityMB,
+			HorizonSec: o.HorizonSec,
+			Seed:       o.Seed,
+		}
+		plannedCfg, _, err := tapejuke.PlanGradualFill(planned)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, job{series: "recommended", param: fill, cfg: plannedCfg})
+
+		naive := planned.WithDefaults()
+		jobs = append(jobs, job{series: "naive", param: fill, cfg: naive})
+	}
+	rows, err := runAll(jobs, o.Workers, o.Replications)
+	if err != nil {
+		return nil, err
+	}
+	// Attach the replica counts to the recommended rows.
+	for i, r := range rows {
+		if r.Series != "recommended" {
+			continue
+		}
+		cfg := tapejuke.Config{DataMB: r.Param * capacityMB}
+		if _, plan, err := tapejuke.PlanGradualFill(cfg); err == nil {
+			rows[i].Value = float64(plan.Replicas)
+		}
+	}
+	return &Figure{
+		ID:        "gradualfill",
+		Title:     "Extension: the Section 4.8 gradual-fill procedure vs. a naive layout",
+		ParamName: "fill_fraction",
+		ValueName: "plan_replicas",
+		Rows:      rows,
+	}, nil
+}

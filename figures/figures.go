@@ -1,0 +1,560 @@
+// Package figures regenerates every figure of the paper's evaluation
+// (Section 4, Figures 1 and 3-10) from the tapejuke simulator. Each figure
+// is a set of labelled series of rows; cmd/figures prints them as TSV and
+// the repository benchmarks run scaled-down versions.
+//
+// The paper's graphs are parametric: the independent variable (usually the
+// closed-model queue length) traces a curve through (throughput, delay)
+// space, and a family of curves varies the quantity under study. Rows carry
+// the parameter value and all three outputs so either rendering works.
+package figures
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"tapejuke"
+	"tapejuke/internal/stats"
+	"tapejuke/internal/tapemodel"
+)
+
+// Row is one simulated point of a figure.
+type Row struct {
+	Series string  // curve label, e.g. "queue-60" or "dynamic-max-bandwidth"
+	Param  float64 // the independent variable tracing the curve
+	// Outputs (zero when not applicable to the figure):
+	ThroughputKBps    float64
+	RequestsPerMinute float64
+	MeanResponseSec   float64
+	Value             float64 // figure-specific scalar (locate seconds, E, cost-performance ratio)
+
+	// 95% confidence half-widths across replications (zero when
+	// Options.Replications <= 1).
+	ThroughputCI95 float64
+	ResponseCI95   float64
+}
+
+// Figure is a reproducible paper figure.
+type Figure struct {
+	ID        string // e.g. "fig3"
+	Title     string
+	ParamName string // meaning of Row.Param
+	ValueName string // meaning of Row.Value, "" if unused
+	Rows      []Row
+}
+
+// Options scales the simulation effort behind each figure.
+type Options struct {
+	// HorizonSec is the simulated duration per run (default 1,000,000 s;
+	// the paper uses 10,000,000 s).
+	HorizonSec float64
+	// Seed offsets all run seeds for replication studies.
+	Seed int64
+	// QueueLengths are the closed-model intensities traced by the
+	// parametric figures (default 20,40,...,140 as in the paper).
+	QueueLengths []int
+	// Open switches the parametric figures to the open-queuing model,
+	// tracing mean interarrival times instead of queue lengths (an
+	// extension for checking the paper's open-queuing remarks).
+	Open bool
+	// Workers bounds concurrent simulations (default: GOMAXPROCS).
+	Workers int
+	// Replications runs every simulated point this many times with
+	// distinct seeds and reports means with 95% confidence half-widths
+	// (default 1: single runs, no intervals).
+	Replications int
+}
+
+func (o Options) withDefaults() Options {
+	if o.HorizonSec == 0 {
+		o.HorizonSec = 1_000_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.QueueLengths) == 0 {
+		o.QueueLengths = []int{20, 40, 60, 80, 100, 120, 140}
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Replications == 0 {
+		o.Replications = 1
+	}
+	return o
+}
+
+// openInterarrivals maps the closed-model queue lengths to open-model mean
+// interarrival times of comparable intensity: light load for short queues,
+// saturation for long ones.
+func openInterarrivals(queues []int) []float64 {
+	out := make([]float64, len(queues))
+	for i, q := range queues {
+		out[i] = 1600 / float64(q) // 80 s at q=20 down to ~11 s at q=140
+	}
+	return out
+}
+
+// job is one simulation to run for a figure.
+type job struct {
+	series string
+	param  float64
+	cfg    tapejuke.Config
+}
+
+// runAll executes jobs concurrently (each replicated `reps` times with
+// distinct seeds) and returns mean rows in input order.
+func runAll(jobs []job, workers, reps int) ([]Row, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	type cell struct {
+		tp, rpm, resp stats.Accumulator
+	}
+	cells := make([]cell, len(jobs))
+	errs := make([]error, len(jobs)*reps)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range jobs {
+		for rep := 0; rep < reps; rep++ {
+			wg.Add(1)
+			go func(i, rep int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				cfg := jobs[i].cfg
+				cfg.Seed += int64(rep) * 7919
+				res, err := tapejuke.Run(cfg)
+				if err != nil {
+					errs[i*reps+rep] = fmt.Errorf("%s param %v: %w", jobs[i].series, jobs[i].param, err)
+					return
+				}
+				mu.Lock()
+				cells[i].tp.Add(res.ThroughputKBps)
+				cells[i].rpm.Add(res.RequestsPerMinute)
+				cells[i].resp.Add(res.MeanResponseSec)
+				mu.Unlock()
+			}(i, rep)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	rows := make([]Row, len(jobs))
+	for i := range jobs {
+		rows[i] = Row{
+			Series:            jobs[i].series,
+			Param:             jobs[i].param,
+			ThroughputKBps:    cells[i].tp.Mean(),
+			RequestsPerMinute: cells[i].rpm.Mean(),
+			MeanResponseSec:   cells[i].resp.Mean(),
+		}
+		if reps > 1 {
+			n := math.Sqrt(float64(reps))
+			rows[i].ThroughputCI95 = 1.96 * cells[i].tp.StdDev() / n
+			rows[i].ResponseCI95 = 1.96 * cells[i].resp.StdDev() / n
+		}
+	}
+	return rows, nil
+}
+
+// base returns the paper's reference configuration (moderate skew, closed
+// queuing, dynamic max-bandwidth) at the option's horizon.
+func base(o Options) tapejuke.Config {
+	return tapejuke.Config{
+		HorizonSec: o.HorizonSec,
+		Seed:       o.Seed,
+	}.WithDefaults()
+}
+
+// applyIntensity sets the workload intensity on cfg: queue length q for
+// closed models, or the matching interarrival time for open models.
+func applyIntensity(cfg *tapejuke.Config, o Options, idx int) float64 {
+	if o.Open {
+		ia := openInterarrivals(o.QueueLengths)[idx]
+		cfg.QueueLength = 0
+		cfg.MeanInterarrivalSec = ia
+		return ia
+	}
+	cfg.QueueLength = o.QueueLengths[idx]
+	return float64(o.QueueLengths[idx])
+}
+
+// All regenerates every figure.
+func All(o Options) ([]*Figure, error) {
+	gens := []func(Options) (*Figure, error){
+		Fig1, Fig3, Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10a, Fig10b,
+	}
+	var out []*Figure
+	for _, g := range gens {
+		f, err := g(o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// ByID regenerates one figure by identifier ("fig1", "fig3".."fig9",
+// "fig10a", "fig10b").
+func ByID(id string, o Options) (*Figure, error) {
+	gens := map[string]func(Options) (*Figure, error){
+		"fig1": Fig1, "fig3": Fig3, "fig4": Fig4, "fig5": Fig5,
+		"fig6": Fig6, "fig7": Fig7, "fig8": Fig8, "fig9": Fig9,
+		"fig10a": Fig10a, "fig10b": Fig10b,
+		// Extension and methodology figures, not in the paper:
+		"convergence": Convergence,
+		"serpentine":  Serpentine,
+		"multidrive":  MultiDrive,
+		"gradualfill": GradualFill,
+	}
+	g, ok := gens[id]
+	if !ok {
+		ids := make([]string, 0, len(gens))
+		for k := range gens {
+			ids = append(ids, k)
+		}
+		sort.Strings(ids)
+		return nil, fmt.Errorf("figures: unknown figure %q (have %v)", id, ids)
+	}
+	return g(o)
+}
+
+// Fig1 tabulates the locate-time model (Figure 1): seconds to locate past k
+// megabytes, forward and reverse, on the EXB-8505XL profile. Pure model
+// evaluation, no simulation.
+func Fig1(Options) (*Figure, error) {
+	p := tapemodel.EXB8505XL()
+	f := &Figure{
+		ID:        "fig1",
+		Title:     "Locate time as a function of distance (1 MB logical blocks)",
+		ParamName: "distance_mb",
+		ValueName: "locate_seconds",
+	}
+	distances := []float64{1, 2, 4, 8, 16, 24, 28, 29, 32, 64, 128, 256, 512, 1024, 2048, 4096, 7168}
+	for _, d := range distances {
+		f.Rows = append(f.Rows,
+			Row{Series: "forward", Param: d, Value: p.LocateForward(d)},
+			Row{Series: "reverse", Param: d, Value: p.LocateReverse(d)},
+		)
+	}
+	return f, nil
+}
+
+// Fig3 sweeps the I/O transfer size at four workload intensities
+// (PH-10 RH-40 NR-0 SP-0, dynamic max-bandwidth).
+func Fig3(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	queues := []int{20, 60, 100, 140}
+	blocks := []float64{2, 4, 8, 16, 32, 64}
+	var jobs []job
+	for _, q := range queues {
+		for _, b := range blocks {
+			cfg := base(o)
+			cfg.BlockMB = b
+			cfg.QueueLength = q
+			if o.Open {
+				cfg.QueueLength = 0
+				cfg.MeanInterarrivalSec = 1600 / float64(q)
+			}
+			jobs = append(jobs, job{series: fmt.Sprintf("queue-%d", q), param: b, cfg: cfg})
+		}
+	}
+	rows, err := runAll(jobs, o.Workers, o.Replications)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:        "fig3",
+		Title:     "The effect of transfer size (PH-10 RH-40 NR-0 SP-0)",
+		ParamName: "block_mb",
+		Rows:      rows,
+	}, nil
+}
+
+// Fig4 compares all eleven simple schedulers without replication
+// (PH-10 RH-40 NR-0 SP-0). The paper plots nine; Section 3.1 defines
+// eleven, so all are reported.
+func Fig4(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	algs := []tapejuke.Algorithm{
+		tapejuke.FIFO,
+		tapejuke.StaticRoundRobin, tapejuke.StaticMaxRequests, tapejuke.StaticMaxBandwidth,
+		tapejuke.StaticOldestMaxRequests, tapejuke.StaticOldestMaxBandwidth,
+		tapejuke.DynamicRoundRobin, tapejuke.DynamicMaxRequests, tapejuke.DynamicMaxBandwidth,
+		tapejuke.DynamicOldestMaxRequests, tapejuke.DynamicOldestMaxBandwidth,
+	}
+	var jobs []job
+	for _, a := range algs {
+		for i := range o.QueueLengths {
+			cfg := base(o)
+			cfg.Algorithm = a
+			p := applyIntensity(&cfg, o, i)
+			jobs = append(jobs, job{series: string(a), param: p, cfg: cfg})
+		}
+	}
+	rows, err := runAll(jobs, o.Workers, o.Replications)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:        "fig4",
+		Title:     "Relative performance of scheduling algorithms, no replication (PH-10 RH-40 NR-0 SP-0)",
+		ParamName: intensityName(o),
+		Rows:      rows,
+	}, nil
+}
+
+// Fig5 studies hot-data placement without replication: horizontal layouts
+// at SP in {0,0.25,0.5,0.75,1} plus the vertical layout, under dynamic
+// max-bandwidth.
+func Fig5(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	var jobs []job
+	for _, sp := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		for i := range o.QueueLengths {
+			cfg := base(o)
+			cfg.StartPos = sp
+			p := applyIntensity(&cfg, o, i)
+			jobs = append(jobs, job{series: fmt.Sprintf("SP-%.2f", sp), param: p, cfg: cfg})
+		}
+	}
+	for i := range o.QueueLengths {
+		cfg := base(o)
+		cfg.Placement = tapejuke.Vertical
+		p := applyIntensity(&cfg, o, i)
+		jobs = append(jobs, job{series: "vertical", param: p, cfg: cfg})
+	}
+	rows, err := runAll(jobs, o.Workers, o.Replications)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:        "fig5",
+		Title:     "Throughput and latency as a function of hot data placement, no replication (PH-10 RH-40 NR-0)",
+		ParamName: intensityName(o),
+		Rows:      rows,
+	}, nil
+}
+
+// Fig6 varies the number of replicas of hot data from 0 to 9 (vertical
+// layout, replicas at the tape end, dynamic max-bandwidth).
+func Fig6(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	var jobs []job
+	for nr := 0; nr <= 9; nr++ {
+		for i := range o.QueueLengths {
+			cfg := base(o)
+			cfg.Placement = tapejuke.Vertical
+			cfg.Replicas = nr
+			cfg.StartPos = 1
+			if nr == 0 {
+				cfg.StartPos = 0 // best no-replication placement
+			}
+			p := applyIntensity(&cfg, o, i)
+			jobs = append(jobs, job{series: fmt.Sprintf("NR-%d", nr), param: p, cfg: cfg})
+		}
+	}
+	rows, err := runAll(jobs, o.Workers, o.Replications)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:        "fig6",
+		Title:     "Throughput and latency as a function of the number of replicas (PH-10 RH-40, vertical, SP-1)",
+		ParamName: intensityName(o),
+		Rows:      rows,
+	}, nil
+}
+
+// Fig7 varies the placement of replicas with full replication (NR-9,
+// vertical), SP from 0 to 1.
+func Fig7(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	var jobs []job
+	for _, sp := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		for i := range o.QueueLengths {
+			cfg := base(o)
+			cfg.Placement = tapejuke.Vertical
+			cfg.Replicas = 9
+			cfg.StartPos = sp
+			p := applyIntensity(&cfg, o, i)
+			jobs = append(jobs, job{series: fmt.Sprintf("SP-%.2f", sp), param: p, cfg: cfg})
+		}
+	}
+	rows, err := runAll(jobs, o.Workers, o.Replications)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:        "fig7",
+		Title:     "Throughput and latency as a function of replica placement (PH-10 RH-40 NR-9, vertical)",
+		ParamName: intensityName(o),
+		Rows:      rows,
+	}, nil
+}
+
+// Fig8 compares schedulers under full replication at the tape end
+// (PH-10 RH-40 NR-9 SP-1, vertical): the three envelope algorithms against
+// every simple algorithm.
+func Fig8(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	var jobs []job
+	for _, a := range tapejuke.Algorithms() {
+		for i := range o.QueueLengths {
+			cfg := base(o)
+			cfg.Algorithm = a
+			cfg.Placement = tapejuke.Vertical
+			cfg.Replicas = 9
+			cfg.StartPos = 1
+			p := applyIntensity(&cfg, o, i)
+			jobs = append(jobs, job{series: string(a), param: p, cfg: cfg})
+		}
+	}
+	rows, err := runAll(jobs, o.Workers, o.Replications)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:        "fig8",
+		Title:     "Relative performance of scheduling algorithms with replication (PH-10 RH-40 NR-9 SP-1)",
+		ParamName: intensityName(o),
+		Rows:      rows,
+	}, nil
+}
+
+// Fig9 studies the importance of skew: RH from 20 to 80 percent, with no
+// replication (SP-0) and full replication (SP-1), both under the
+// max-bandwidth envelope algorithm.
+func Fig9(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	var jobs []job
+	for _, rh := range []float64{20, 40, 60, 80} {
+		for _, full := range []bool{false, true} {
+			for i := range o.QueueLengths {
+				cfg := base(o)
+				cfg.Algorithm = tapejuke.EnvelopeMaxBandwidth
+				cfg.ReadHotPercent = rh
+				label := fmt.Sprintf("RH-%.0f-norepl", rh)
+				if full {
+					cfg.Placement = tapejuke.Vertical
+					cfg.Replicas = 9
+					cfg.StartPos = 1
+					label = fmt.Sprintf("RH-%.0f-full", rh)
+				}
+				p := applyIntensity(&cfg, o, i)
+				jobs = append(jobs, job{series: label, param: p, cfg: cfg})
+			}
+		}
+	}
+	rows, err := runAll(jobs, o.Workers, o.Replications)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:        "fig9",
+		Title:     "The relationship between skew and performance improvements (PH-10, envelope-max-bandwidth)",
+		ParamName: intensityName(o),
+		Rows:      rows,
+	}, nil
+}
+
+// Fig10a tabulates the storage expansion factor E = 1 + NR*PH/100 as a
+// function of the replica count for several hot fractions. Analytic.
+func Fig10a(Options) (*Figure, error) {
+	f := &Figure{
+		ID:        "fig10a",
+		Title:     "Storage expansion factor of replication",
+		ParamName: "replicas",
+		ValueName: "expansion_factor",
+	}
+	for _, ph := range []float64{5, 10, 20, 30} {
+		for nr := 0; nr <= 9; nr++ {
+			cfg := tapejuke.Config{HotPercent: ph, Replicas: nr}
+			f.Rows = append(f.Rows, Row{
+				Series: fmt.Sprintf("PH-%.0f", ph),
+				Param:  float64(nr),
+				Value:  cfg.ExpansionFactor(),
+			})
+		}
+	}
+	return f, nil
+}
+
+// Fig10b computes the cost-performance ratio of replication versus no
+// replication for NR in 0..9 at four skews (PH-10, queue 60 per
+// non-replicated jukebox, scaled by 1/E for the replicated farm).
+func Fig10b(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	const baseQueue = 60
+	skews := []float64{40, 60, 80, 95}
+
+	// Baselines: NR-0, SP-0 horizontal at full queue, one per skew.
+	baselineRes := make(map[float64]float64)
+	var jobs []job
+	for _, rh := range skews {
+		for nr := 0; nr <= 9; nr++ {
+			cfg := base(o)
+			cfg.Algorithm = tapejuke.EnvelopeMaxBandwidth
+			cfg.ReadHotPercent = rh
+			cfg.Replicas = nr
+			if nr > 0 {
+				cfg.Placement = tapejuke.Vertical
+				cfg.StartPos = 1
+			}
+			e := cfg.ExpansionFactor()
+			q, err := tapejuke.ScaledQueueLength(baseQueue, e)
+			if err != nil {
+				return nil, err
+			}
+			cfg.QueueLength = q
+			cfg.MeanInterarrivalSec = 0
+			jobs = append(jobs, job{series: fmt.Sprintf("RH-%.0f", rh), param: float64(nr), cfg: cfg})
+		}
+	}
+	rows, err := runAll(jobs, o.Workers, o.Replications)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if r.Param == 0 {
+			baselineRes[seriesSkew(r.Series)] = r.ThroughputKBps
+		}
+	}
+	f := &Figure{
+		ID:        "fig10b",
+		Title:     "Cost-performance of replication vs. no replication (PH-10, queue 60/E)",
+		ParamName: "replicas",
+		ValueName: "cost_performance_ratio",
+	}
+	for _, r := range rows {
+		baseT := baselineRes[seriesSkew(r.Series)]
+		if baseT <= 0 {
+			return nil, fmt.Errorf("figures: missing baseline for %s", r.Series)
+		}
+		r.Value = r.ThroughputKBps / baseT
+		f.Rows = append(f.Rows, r)
+	}
+	return f, nil
+}
+
+func seriesSkew(series string) float64 {
+	var rh float64
+	fmt.Sscanf(series, "RH-%f", &rh)
+	return rh
+}
+
+func intensityName(o Options) string {
+	if o.Open {
+		return "mean_interarrival_s"
+	}
+	return "queue_length"
+}

@@ -1,0 +1,289 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// tiny keeps figure tests fast: short horizon, two intensities.
+func tiny() Options {
+	return Options{HorizonSec: 40_000, QueueLengths: []int{20, 60}, Seed: 1}
+}
+
+func seriesSet(f *Figure) map[string]int {
+	out := make(map[string]int)
+	for _, r := range f.Rows {
+		out[r.Series]++
+	}
+	return out
+}
+
+func TestFig1Shape(t *testing.T) {
+	f, err := Fig1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := seriesSet(f)
+	if ss["forward"] == 0 || ss["reverse"] == 0 {
+		t.Fatalf("missing series: %v", ss)
+	}
+	// Locate time grows with distance within each series, except for the
+	// documented sub-second dip where the fitted short and long segments
+	// meet (28 -> 29 MB).
+	last := map[string]float64{}
+	for _, r := range f.Rows {
+		if prev, ok := last[r.Series]; ok && r.Value < prev-0.3 {
+			t.Errorf("%s: locate time fell from %v to %v at %v MB", r.Series, prev, r.Value, r.Param)
+		}
+		last[r.Series] = r.Value
+	}
+}
+
+func TestFig3TransferSizeShape(t *testing.T) {
+	f, err := Fig3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput at 16 MB blocks must clearly exceed 4 MB blocks for every
+	// intensity (Question 1: small transfers starve the system).
+	by := map[string]map[float64]float64{}
+	for _, r := range f.Rows {
+		if by[r.Series] == nil {
+			by[r.Series] = map[float64]float64{}
+		}
+		by[r.Series][r.Param] = r.ThroughputKBps
+	}
+	for series, pts := range by {
+		if pts[16] <= pts[4] {
+			t.Errorf("%s: 16 MB (%v KB/s) should beat 4 MB (%v KB/s)", series, pts[16], pts[4])
+		}
+	}
+}
+
+func TestFig4FIFOVertical(t *testing.T) {
+	f, err := Fig4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FIFO's curve is a vertical line: throughput roughly constant in the
+	// queue length, while delay grows with it (Section 4.2).
+	var fifo []Row
+	for _, r := range f.Rows {
+		if r.Series == "fifo" {
+			fifo = append(fifo, r)
+		}
+	}
+	if len(fifo) != 2 {
+		t.Fatalf("fifo rows = %d", len(fifo))
+	}
+	if rel := math.Abs(fifo[0].ThroughputKBps-fifo[1].ThroughputKBps) / fifo[0].ThroughputKBps; rel > 0.05 {
+		t.Errorf("FIFO throughput varies %.1f%% across queue lengths; should be flat", rel*100)
+	}
+	if fifo[1].MeanResponseSec <= fifo[0].MeanResponseSec {
+		t.Error("FIFO delay should grow with queue length")
+	}
+	// Dynamic max-bandwidth beats FIFO at the heavier load.
+	for _, r := range f.Rows {
+		if r.Series == "dynamic-max-bandwidth" && r.Param == 60 {
+			if r.ThroughputKBps <= fifo[1].ThroughputKBps {
+				t.Error("dynamic max-bandwidth should beat FIFO")
+			}
+		}
+	}
+}
+
+func TestFig6MoreReplicasBetter(t *testing.T) {
+	f, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(series string, q float64) float64 {
+		for _, r := range f.Rows {
+			if r.Series == series && r.Param == q {
+				return r.ThroughputKBps
+			}
+		}
+		t.Fatalf("missing %s q=%v", series, q)
+		return 0
+	}
+	if get("NR-9", 60) <= get("NR-0", 60) {
+		t.Error("full replication should beat none at queue 60")
+	}
+}
+
+func TestFig10aExactValues(t *testing.T) {
+	f, err := Fig10a(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.Rows {
+		var ph float64
+		if _, err := fmtSscanfSeries(r.Series, &ph); err != nil {
+			t.Fatalf("bad series %q", r.Series)
+		}
+		want := 1 + r.Param*ph/100
+		if math.Abs(r.Value-want) > 1e-12 {
+			t.Errorf("%s NR=%v: E=%v, want %v", r.Series, r.Param, r.Value, want)
+		}
+	}
+}
+
+func TestFig10bBaselineRatioOne(t *testing.T) {
+	f, err := Fig10b(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.Rows {
+		if r.Param == 0 && math.Abs(r.Value-1) > 1e-9 {
+			t.Errorf("%s: baseline ratio %v, want 1", r.Series, r.Value)
+		}
+		if r.Value <= 0 {
+			t.Errorf("%s NR=%v: non-positive ratio %v", r.Series, r.Param, r.Value)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig1", tiny()); err != nil {
+		t.Errorf("fig1: %v", err)
+	}
+	if _, err := ByID("fig99", tiny()); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestConvergenceFigure(t *testing.T) {
+	// Shrink the study drastically for the test: the structure matters
+	// here, not the statistics.
+	o := Options{HorizonSec: 40_000, QueueLengths: []int{20}, Seed: 1, Replications: 3}
+	f, err := Convergence(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "convergence" || len(f.Rows) == 0 {
+		t.Fatalf("figure: %+v", f)
+	}
+	ss := seriesSet(f)
+	if len(ss) != 2 {
+		t.Errorf("series = %v, want the two reference schedulers", ss)
+	}
+	for _, r := range f.Rows {
+		if r.ThroughputKBps <= 0 {
+			t.Errorf("row %+v has no throughput", r)
+		}
+		if r.ThroughputCI95 <= 0 {
+			t.Errorf("row %+v missing confidence interval", r)
+		}
+	}
+}
+
+func TestAllGeneratesEveryFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates every figure")
+	}
+	figs, err := All(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 10 {
+		t.Fatalf("got %d figures, want 10", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Rows) == 0 {
+			t.Errorf("%s has no rows", f.ID)
+		}
+	}
+}
+
+func TestReplicationsProduceIntervals(t *testing.T) {
+	o := tiny()
+	o.Replications = 3
+	f, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyCI := false
+	for _, r := range f.Rows {
+		if r.ThroughputCI95 < 0 || r.ResponseCI95 < 0 {
+			t.Fatalf("negative CI in %+v", r)
+		}
+		if r.ThroughputCI95 > 0 {
+			anyCI = true
+		}
+		// The interval should be narrow relative to the mean at these
+		// horizons -- otherwise the figure points are noise.
+		if r.ThroughputKBps > 0 && r.ThroughputCI95 > 0.25*r.ThroughputKBps {
+			t.Errorf("CI %.2f is huge next to mean %.2f", r.ThroughputCI95, r.ThroughputKBps)
+		}
+	}
+	if !anyCI {
+		t.Error("no confidence intervals computed with 3 replications")
+	}
+
+	// Single runs carry no intervals.
+	f, err = Fig3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.Rows {
+		if r.ThroughputCI95 != 0 || r.ResponseCI95 != 0 {
+			t.Fatal("intervals reported without replications")
+		}
+	}
+}
+
+func TestExtensionFigures(t *testing.T) {
+	o := tiny()
+	for _, id := range []string{"serpentine", "multidrive", "gradualfill"} {
+		f, err := ByID(id, o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(f.Rows) == 0 {
+			t.Errorf("%s: no rows", id)
+		}
+		for _, r := range f.Rows {
+			if r.ThroughputKBps <= 0 {
+				t.Errorf("%s: %s param %v has no throughput", id, r.Series, r.Param)
+			}
+		}
+	}
+	// Multi-drive scaling: 2 drives beat 1 at the same intensity.
+	f, err := MultiDrive(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(series string, q float64) float64 {
+		for _, r := range f.Rows {
+			if r.Series == series && r.Param == q {
+				return r.ThroughputKBps
+			}
+		}
+		t.Fatalf("missing %s q=%v", series, q)
+		return 0
+	}
+	if get("drives-2", 60) <= get("drives-1", 60) {
+		t.Error("two drives should beat one")
+	}
+}
+
+func TestOpenVariant(t *testing.T) {
+	o := tiny()
+	o.Open = true
+	f, err := Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ParamName != "mean_interarrival_s" {
+		t.Errorf("open param name = %q", f.ParamName)
+	}
+	if len(f.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+// fmtSscanfSeries parses "PH-10" style labels.
+func fmtSscanfSeries(s string, ph *float64) (int, error) {
+	return fmt.Sscanf(s, "PH-%f", ph)
+}

@@ -1,0 +1,240 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// PlotKind selects the axes of a rendered chart.
+type PlotKind int
+
+const (
+	// PlotAuto picks the kind the paper uses for the figure: parametric
+	// throughput/delay when rows carry both, value-vs-param otherwise.
+	PlotAuto PlotKind = iota
+	// PlotParametric plots requests/minute (x) against mean response time
+	// (y), tracing each series in parameter order -- the paper's
+	// throughput/delay curves.
+	PlotParametric
+	// PlotValue plots Row.Value against Row.Param (Figures 1, 10a, 10b).
+	PlotValue
+	// PlotThroughput plots throughput (KB/s) against Row.Param (Figure 3).
+	PlotThroughput
+)
+
+// chart geometry.
+const (
+	plotW, plotH         = 720, 480
+	marginL, marginR     = 70, 170
+	marginT, marginB     = 40, 55
+	innerW               = plotW - marginL - marginR
+	innerH               = plotH - marginT - marginB
+	maxLegendEntries     = 16
+	axisTicks            = 5
+	pointRadius          = 2.5
+	strokeWidth          = 1.6
+	legendSwatch         = 14
+	legendRowH           = 18
+	titleFontSize        = 13
+	labelFontSize        = 11
+	tickFontSize         = 10
+	defaultNumberFormatG = "%.4g"
+)
+
+// palette holds distinguishable series colors; they repeat after 14.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+	"#e377c2", "#17becf", "#bcbd22", "#7f7f7f", "#aec7e8", "#ff9896",
+	"#98df8a", "#c5b0d5",
+}
+
+// RenderSVG writes the figure as a standalone SVG chart. Series are drawn
+// as polylines with point markers and a legend; axes carry tick labels and
+// the figure's parameter/value names.
+func (f *Figure) RenderSVG(w io.Writer, kind PlotKind) error {
+	if len(f.Rows) == 0 {
+		return fmt.Errorf("figures: %s has no rows to plot", f.ID)
+	}
+	if kind == PlotAuto {
+		kind = f.autoKind()
+	}
+	xs, ys, xlab, ylab := f.axes(kind)
+
+	minX, maxX := bounds(xs)
+	minY, maxY := bounds(ys)
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	// A little headroom.
+	padY := (maxY - minY) * 0.05
+	minY -= padY
+	maxY += padY
+
+	sx := func(v float64) float64 { return marginL + (v-minX)/(maxX-minX)*innerW }
+	sy := func(v float64) float64 { return marginT + innerH - (v-minY)/(maxY-minY)*innerH }
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		plotW, plotH, plotW, plotH)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", plotW, plotH)
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-size="%d" font-family="sans-serif">%s</text>`+"\n",
+		marginL, marginT-18, titleFontSize, xmlEscape(f.ID+": "+f.Title))
+
+	// Axes.
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+innerH, marginL+innerW, marginT+innerH)
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+innerH)
+	for i := 0; i <= axisTicks; i++ {
+		frac := float64(i) / axisTicks
+		xv := minX + frac*(maxX-minX)
+		yv := minY + frac*(maxY-minY)
+		xpix := sx(xv)
+		ypix := sy(yv)
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			xpix, marginT+innerH, xpix, marginT+innerH+4)
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" font-size="%d" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+			xpix, marginT+innerH+16, tickFontSize, formatTick(xv))
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-4, ypix, marginL, ypix)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" font-size="%d" font-family="sans-serif" text-anchor="end">%s</text>`+"\n",
+			marginL-7, ypix+3, tickFontSize, formatTick(yv))
+	}
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-size="%d" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+		marginL+innerW/2, plotH-14, labelFontSize, xmlEscape(xlab))
+	fmt.Fprintf(w, `<text x="16" y="%d" font-size="%d" font-family="sans-serif" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+		marginT+innerH/2, labelFontSize, marginT+innerH/2, xmlEscape(ylab))
+
+	// Series.
+	order := f.seriesOrder()
+	for si, name := range order {
+		color := palette[si%len(palette)]
+		var pts []point
+		for i, r := range f.Rows {
+			if r.Series != name {
+				continue
+			}
+			pts = append(pts, point{x: xs[i], y: ys[i], param: r.Param})
+		}
+		sort.Slice(pts, func(a, b int) bool { return pts[a].param < pts[b].param })
+		poly := ""
+		for _, p := range pts {
+			poly += fmt.Sprintf("%.1f,%.1f ", sx(p.x), sy(p.y))
+		}
+		fmt.Fprintf(w, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`+"\n",
+			poly, color, strokeWidth)
+		for _, p := range pts {
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n",
+				sx(p.x), sy(p.y), pointRadius, color)
+		}
+		// Legend.
+		if si < maxLegendEntries {
+			ly := marginT + si*legendRowH
+			lx := marginL + innerW + 12
+			fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+				lx, ly, legendSwatch, legendSwatch-4, color)
+			fmt.Fprintf(w, `<text x="%d" y="%d" font-size="%d" font-family="sans-serif">%s</text>`+"\n",
+				lx+legendSwatch+5, ly+9, tickFontSize, xmlEscape(name))
+		}
+	}
+	fmt.Fprintln(w, `</svg>`)
+	return nil
+}
+
+type point struct{ x, y, param float64 }
+
+// autoKind chooses the paper's presentation for the figure.
+func (f *Figure) autoKind() PlotKind {
+	switch {
+	case f.ValueName != "":
+		return PlotValue
+	case f.ParamName == "block_mb":
+		return PlotThroughput
+	default:
+		return PlotParametric
+	}
+}
+
+// axes extracts per-row x/y values and axis labels for the plot kind.
+func (f *Figure) axes(kind PlotKind) (xs, ys []float64, xlab, ylab string) {
+	xs = make([]float64, len(f.Rows))
+	ys = make([]float64, len(f.Rows))
+	switch kind {
+	case PlotValue:
+		for i, r := range f.Rows {
+			xs[i], ys[i] = r.Param, r.Value
+		}
+		return xs, ys, f.ParamName, f.ValueName
+	case PlotThroughput:
+		for i, r := range f.Rows {
+			xs[i], ys[i] = r.Param, r.ThroughputKBps
+		}
+		return xs, ys, f.ParamName, "throughput (KB/s)"
+	default:
+		for i, r := range f.Rows {
+			xs[i], ys[i] = r.RequestsPerMinute, r.MeanResponseSec
+		}
+		return xs, ys, "throughput (requests/minute)", "mean response time (s)"
+	}
+}
+
+// seriesOrder lists series labels in first-appearance order.
+func (f *Figure) seriesOrder() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, r := range f.Rows {
+		if !seen[r.Series] {
+			seen[r.Series] = true
+			out = append(out, r.Series)
+		}
+	}
+	return out
+}
+
+func bounds(vs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf(defaultNumberFormatG, v)
+	}
+}
+
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			out = append(out, "&amp;"...)
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,163 @@
+package figures
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// renderToString renders a figure and fails the test on error.
+func renderToString(t *testing.T, f *Figure, kind PlotKind) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f.RenderSVG(&buf, kind); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// wellFormed checks the SVG parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestRenderFig1Value(t *testing.T) {
+	f, err := Fig1(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := renderToString(t, f, PlotAuto)
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("missing svg envelope")
+	}
+	// Two series -> two polylines.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	if !strings.Contains(svg, "locate_seconds") {
+		t.Error("missing y-axis label")
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked into coordinates")
+	}
+}
+
+func TestRenderParametric(t *testing.T) {
+	f := &Figure{
+		ID:        "figX",
+		Title:     "test <figure> & title",
+		ParamName: "queue_length",
+		Rows: []Row{
+			{Series: "a", Param: 20, RequestsPerMinute: 0.5, MeanResponseSec: 2000, ThroughputKBps: 130},
+			{Series: "a", Param: 60, RequestsPerMinute: 0.8, MeanResponseSec: 4500, ThroughputKBps: 215},
+			{Series: "b", Param: 20, RequestsPerMinute: 0.4, MeanResponseSec: 2500, ThroughputKBps: 110},
+			{Series: "b", Param: 60, RequestsPerMinute: 0.7, MeanResponseSec: 5000, ThroughputKBps: 190},
+		},
+	}
+	svg := renderToString(t, f, PlotAuto) // auto -> parametric
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "requests/minute") {
+		t.Error("parametric axes not chosen")
+	}
+	// Title must be escaped.
+	if strings.Contains(svg, "<figure>") {
+		t.Error("unescaped markup in title")
+	}
+	if !strings.Contains(svg, "&lt;figure&gt; &amp; title") {
+		t.Error("escaped title missing")
+	}
+	if got := strings.Count(svg, "<circle"); got != 4 {
+		t.Errorf("point markers = %d, want 4", got)
+	}
+}
+
+func TestRenderThroughputKind(t *testing.T) {
+	f := &Figure{
+		ID: "fig3", Title: "t", ParamName: "block_mb",
+		Rows: []Row{
+			{Series: "queue-60", Param: 8, ThroughputKBps: 130},
+			{Series: "queue-60", Param: 16, ThroughputKBps: 215},
+		},
+	}
+	svg := renderToString(t, f, PlotAuto)
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "throughput (KB/s)") {
+		t.Error("throughput axes not chosen for block_mb figures")
+	}
+}
+
+func TestRenderLegendCapAndPaletteCycle(t *testing.T) {
+	// 20 series: more than the legend shows and more than the palette
+	// holds; rendering must stay well-formed with exactly maxLegendEntries
+	// legend rows.
+	f := &Figure{ID: "figL", Title: "many", ParamName: "p", ValueName: "v"}
+	for i := 0; i < 20; i++ {
+		f.Rows = append(f.Rows,
+			Row{Series: fmt.Sprintf("s%02d", i), Param: 1, Value: float64(i)},
+			Row{Series: fmt.Sprintf("s%02d", i), Param: 2, Value: float64(i + 1)},
+		)
+	}
+	svg := renderToString(t, f, PlotAuto)
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<polyline"); got != 20 {
+		t.Errorf("polylines = %d, want 20", got)
+	}
+	if got := strings.Count(svg, "<rect"); got != maxLegendEntries+1 { // + background
+		t.Errorf("legend rects = %d, want %d", got-1, maxLegendEntries)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		25000: "25000",
+		123.4: "123.4",
+		12.34: "12.3",
+		1.234: "1.234",
+		0:     "0",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Errorf("xmlEscape = %q", got)
+	}
+}
+
+func TestRenderEmptyFigure(t *testing.T) {
+	f := &Figure{ID: "figE", Title: "empty"}
+	var buf bytes.Buffer
+	if err := f.RenderSVG(&buf, PlotAuto); err == nil {
+		t.Error("empty figure rendered")
+	}
+}
+
+func TestRenderDegenerateRange(t *testing.T) {
+	// A single point (zero ranges) must not divide by zero.
+	f := &Figure{
+		ID: "figD", Title: "degenerate", ParamName: "p", ValueName: "v",
+		Rows: []Row{{Series: "only", Param: 5, Value: 7}},
+	}
+	svg := renderToString(t, f, PlotAuto)
+	wellFormed(t, svg)
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("degenerate range produced NaN/Inf coordinates")
+	}
+}

@@ -1,0 +1,3 @@
+module tapejuke
+
+go 1.22

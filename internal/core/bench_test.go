@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tapejuke/internal/layout"
+	"tapejuke/internal/sched"
+)
+
+// benchEnvelopeState builds a replicated scheduling state with n pending
+// requests: the envelope algorithm's costly case.
+func benchEnvelopeState(b *testing.B, n, nr int) (*sched.State, []*sched.Request) {
+	b.Helper()
+	l, err := layout.Build(layout.Config{
+		Tapes: 10, TapeCapBlocks: 448, HotPercent: 10,
+		Replicas: nr, Kind: layout.Vertical, StartPos: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := &sched.State{Layout: l, Costs: costs(), Mounted: 3, Head: 100}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < n; i++ {
+		st.Pending = append(st.Pending, &sched.Request{
+			ID: int64(i), Block: layout.BlockID(rng.Intn(l.NumBlocks())),
+		})
+	}
+	return st, append([]*sched.Request(nil), st.Pending...)
+}
+
+func benchUpperEnvelope(b *testing.B, n, nr int) {
+	st, _ := benchEnvelopeState(b, n, nr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		computeUpperEnvelope(st)
+	}
+}
+
+func BenchmarkUpperEnvelope60FullRepl(b *testing.B)  { benchUpperEnvelope(b, 60, 9) }
+func BenchmarkUpperEnvelope140FullRepl(b *testing.B) { benchUpperEnvelope(b, 140, 9) }
+func BenchmarkUpperEnvelope140NoRepl(b *testing.B)   { benchUpperEnvelope(b, 140, 0) }
+
+func BenchmarkEnvelopeReschedule140(b *testing.B) {
+	st, saved := benchEnvelopeState(b, 140, 9)
+	e := NewEnvelope(MaxBandwidth)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := e.Reschedule(st); !ok {
+			b.Fatal("reschedule failed")
+		}
+		st.Pending = st.Pending[:0]
+		st.Pending = append(st.Pending, saved...)
+	}
+}
+
+func BenchmarkEnvelopeOnArrival(b *testing.B) {
+	st, _ := benchEnvelopeState(b, 60, 9)
+	e := NewEnvelope(MaxBandwidth)
+	_, sweep, ok := e.Reschedule(st)
+	if !ok {
+		b.Fatal("setup failed")
+	}
+	st.Active = sweep
+	rng := rand.New(rand.NewSource(13))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &sched.Request{
+			ID:    int64(1000 + i),
+			Block: layout.BlockID(rng.Intn(st.Layout.NumBlocks())),
+		}
+		if !e.OnArrival(st, r) {
+			st.Pending = append(st.Pending, r)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package core implements the envelope-extension scheduling algorithm of
+// Section 3.2, the paper's primary contribution.
+//
+// The algorithm takes a global view across all tapes. The requests for
+// non-replicated blocks pin down, per tape, a prefix that must be traversed
+// no matter what; the collection of these prefixes is the "envelope".
+// Requested blocks whose replicas already fall inside the envelope are
+// absorbed for free. The envelope is then repeatedly extended by the prefix
+// of unscheduled requests with the highest incremental bandwidth, and shrunk
+// whenever a replicated block scheduled at the outer edge of one tape's
+// envelope becomes satisfiable inside another tape's newly enclosed portion.
+// The result is the "upper envelope", which satisfies every request; a
+// tape-selection policy then picks which tape to service first.
+//
+// Scheduling retrievals in this setting is NP-hard (Theorem 1); the
+// envelope-extension heuristic is within a harmonic factor of the optimal
+// extension (Theorem 2), which package core exposes via Theorem2Bound.
+package core
+
+import (
+	"tapejuke/internal/layout"
+	"tapejuke/internal/sched"
+	"tapejuke/internal/stats"
+	"tapejuke/internal/tapemodel"
+)
+
+// Variant selects the tape-switch policy the envelope algorithm applies to
+// the per-tape request sets within the upper envelope.
+type Variant int
+
+const (
+	// OldestRequest restricts the choice to tapes that can satisfy the
+	// oldest pending request within the envelope, then picks the one with
+	// the most satisfiable requests ("oldest request envelope").
+	OldestRequest Variant = iota
+	// MaxRequests picks the tape with the most requests satisfiable within
+	// the envelope ("max requests envelope").
+	MaxRequests
+	// MaxBandwidth picks the tape with the highest effective bandwidth for
+	// its within-envelope schedule ("max bandwidth envelope"). The paper's
+	// recommended algorithm.
+	MaxBandwidth
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case OldestRequest:
+		return "oldest-request"
+	case MaxRequests:
+		return "max-requests"
+	case MaxBandwidth:
+		return "max-bandwidth"
+	}
+	return "unknown"
+}
+
+// Envelope is the envelope-extension scheduler. It satisfies
+// sched.Scheduler. With no replicated data it degenerates into the dynamic
+// algorithm with the same policy, as the paper observes.
+type Envelope struct {
+	variant Variant
+	env     []int // upper envelope from the last major reschedule, per tape
+}
+
+// NewEnvelope returns the envelope-extension scheduler with the given
+// tape-selection variant.
+func NewEnvelope(v Variant) *Envelope { return &Envelope{variant: v} }
+
+// Name returns e.g. "envelope-max-bandwidth".
+func (e *Envelope) Name() string { return "envelope-" + e.variant.String() }
+
+// Variant returns the tape-selection variant.
+func (e *Envelope) Variant() Variant { return e.variant }
+
+// UpperEnvelope returns the per-tape envelope boundaries computed by the
+// most recent major reschedule (block-boundary positions: env[t] = p means
+// the schedule traverses tape t up to, but not past, position p). It returns
+// nil before the first reschedule. Exposed for tests and instrumentation.
+func (e *Envelope) UpperEnvelope() []int { return e.env }
+
+// Reschedule computes the upper envelope over the whole pending list,
+// selects a tape with the configured variant, and extracts every pending
+// request satisfiable by that tape within the envelope.
+func (e *Envelope) Reschedule(st *sched.State) (int, *sched.Sweep, bool) {
+	if len(st.Pending) == 0 {
+		return 0, nil, false
+	}
+	env := computeUpperEnvelope(st)
+	e.env = env
+
+	tape, ok := e.selectTape(st, env)
+	if !ok {
+		return 0, nil, false
+	}
+	// Extract the requests satisfiable by `tape` within the upper envelope
+	// (in general a superset of the per-tape schedule built during envelope
+	// construction -- replicated requests assigned elsewhere may also have
+	// an in-envelope copy here).
+	var reqs []*sched.Request
+	for _, r := range st.Pending {
+		if c, in := replicaInside(st, r, tape, env); in {
+			r.Target = c
+			reqs = append(reqs, r)
+		}
+	}
+	if len(reqs) == 0 {
+		return 0, nil, false
+	}
+	st.RemovePending(reqs)
+	return tape, sched.NewSweep(reqs, st.StartHead(tape)), true
+}
+
+// OnArrival implements the envelope incremental scheduler. A request for a
+// block with a copy on the current tape inside the upper envelope is
+// inserted into the in-flight sweep like the dynamic algorithms do.
+// Otherwise the extension machinery (steps 3-5) runs for the single new
+// request to decide which tape and copy should satisfy it; if that choice is
+// the current tape and the position is still ahead of the head, the request
+// joins the sweep, else it is deferred to the pending list.
+func (e *Envelope) OnArrival(st *sched.State, r *sched.Request) bool {
+	if st.Active == nil || st.Mounted < 0 || e.env == nil {
+		return false
+	}
+	if c, ok := st.Layout.ReplicaOn(r.Block, st.Mounted); ok && c.Pos < e.env[st.Mounted] {
+		r.Target = c
+		return st.Active.Insert(r, st.Head)
+	}
+	// Single-request envelope extension: choose the replica whose envelope
+	// extension has the lowest incremental cost (equivalently, for one
+	// block, the highest incremental bandwidth).
+	bestTape, bestCost := -1, 0.0
+	var bestCopy layout.Replica
+	for _, c := range st.Layout.Replicas(r.Block) {
+		cost := extensionCost(st, e.env[c.Tape], c.Tape, []int{c.Pos})
+		if bestTape < 0 || cost < bestCost {
+			bestTape, bestCost, bestCopy = c.Tape, cost, c
+		}
+	}
+	if bestTape < 0 {
+		return false
+	}
+	if bestCopy.Pos+1 > e.env[bestTape] {
+		e.env[bestTape] = bestCopy.Pos + 1
+	}
+	if bestTape == st.Mounted {
+		r.Target = bestCopy
+		return st.Active.Insert(r, st.Head)
+	}
+	return false
+}
+
+// replicaInside returns block b's copy on `tape` when that copy lies inside
+// the envelope.
+func replicaInside(st *sched.State, r *sched.Request, tape int, env []int) (layout.Replica, bool) {
+	c, ok := st.Layout.ReplicaOn(r.Block, tape)
+	if !ok || c.Pos+1 > env[tape] {
+		return layout.Replica{}, false
+	}
+	return c, true
+}
+
+// selectTape applies the variant's tape-switch policy to the per-tape sets
+// of requests satisfiable within the upper envelope.
+func (e *Envelope) selectTape(st *sched.State, env []int) (int, bool) {
+	n := st.Layout.Tapes()
+	sets := make([][]*sched.Request, n)
+	for _, r := range st.Pending {
+		for _, c := range st.Layout.Replicas(r.Block) {
+			if c.Pos+1 <= env[c.Tape] {
+				sets[c.Tape] = append(sets[c.Tape], r)
+			}
+		}
+	}
+
+	candidate := func(t int) bool { return len(sets[t]) > 0 && st.Available(t) }
+	if e.variant == OldestRequest {
+		oldest := st.Pending[0]
+		onTape := make(map[int]bool)
+		for _, c := range st.Layout.Replicas(oldest.Block) {
+			if c.Pos+1 <= env[c.Tape] {
+				onTape[c.Tape] = true
+			}
+		}
+		candidate = func(t int) bool { return onTape[t] && len(sets[t]) > 0 && st.Available(t) }
+	}
+
+	best, bestScore := -1, -1.0
+	st.JukeboxOrder(func(t int) bool {
+		if !candidate(t) {
+			return true
+		}
+		var score float64
+		if e.variant == MaxBandwidth {
+			positions := make([]int, len(sets[t]))
+			for i, r := range sets[t] {
+				c, _ := st.Layout.ReplicaOn(r.Block, t)
+				positions[i] = c.Pos
+			}
+			startHead := st.StartHead(t)
+			order := sweepOrderInts(positions, startHead)
+			score = st.Costs.EffectiveBandwidth(st.Mounted, st.Head, t, startHead, order)
+		} else {
+			score = float64(len(sets[t]))
+		}
+		if score > bestScore {
+			best, bestScore = t, score
+		}
+		return true
+	})
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// Theorem2Bound returns the paper's Theorem 2 upper bound on the extension
+// cost of the envelope schedule: with n requests unscheduled at the end of
+// step 2, C(S2) - C(S1) <= H_n*(C(S2opt)-C(S1)) - n*(H_n-1)*(Cs+Cr) + n*Cd,
+// where Cs is the short-forward-locate startup, Cr the block transfer time,
+// Cd the difference between the long and short forward startup costs, and
+// H_n the n-th harmonic number. optExtension is C(S2opt) - C(S1).
+// The bound's constants come from the piecewise-linear helical-scan model,
+// so it takes the concrete Profile rather than the Positioner interface.
+func Theorem2Bound(prof *tapemodel.Profile, blockMB float64, n int, optExtension float64) float64 {
+	h := stats.Harmonic(n)
+	cs := prof.ShortForward.Startup
+	cr := prof.Read(blockMB, 0)
+	cd := prof.LongForward.Startup - prof.ShortForward.Startup
+	nf := float64(n)
+	return h*optExtension - nf*(h-1)*(cs+cr) + nf*cd
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"sort"
+
+	"tapejuke/internal/layout"
+	"tapejuke/internal/sched"
+)
+
+// builder carries the working state of the upper-envelope computation
+// (steps 1-6 of the major rescheduler, Section 3.2).
+type builder struct {
+	st    *sched.State
+	env   []int            // envelope boundary per tape (block boundary)
+	count []int            // number of scheduled requests per tape
+	where []layout.Replica // assigned copy per request index, Tape=-1 if unscheduled
+	reqs  []*sched.Request // st.Pending snapshot
+	onT   [][]int          // request indices scheduled on each tape
+
+	// Snapshot of the schedule S1 at the end of step 2, kept so tests can
+	// check the Theorem 2 bound on the extension cost C(S2) - C(S1).
+	s1Where []layout.Replica
+}
+
+// computeUpperEnvelope runs the envelope-extension construction over the
+// pending list and returns the per-tape upper envelope. The request
+// assignments made along the way are discarded: the caller re-derives the
+// chosen tape's service set from the envelope (the set of requests
+// satisfiable within it), per the paper's tape-selection step.
+func computeUpperEnvelope(st *sched.State) []int {
+	return buildEnvelope(st).env
+}
+
+// buildEnvelope runs steps 1-6 and returns the full builder state,
+// including the S1 snapshot and the final assignments.
+func buildEnvelope(st *sched.State) *builder {
+	b := &builder{
+		st:    st,
+		env:   make([]int, st.Layout.Tapes()),
+		count: make([]int, st.Layout.Tapes()),
+		reqs:  st.Pending,
+		onT:   make([][]int, st.Layout.Tapes()),
+	}
+	b.where = make([]layout.Replica, len(b.reqs))
+	for i := range b.where {
+		b.where[i].Tape = -1
+	}
+
+	b.initialEnvelope() // step 1
+	b.absorb()          // step 2
+	b.s1Where = append([]layout.Replica(nil), b.where...)
+	for b.unscheduledCount() > 0 {
+		tape, prefix := b.bestExtension() // steps 3-4: choose prefix
+		if tape < 0 {
+			break // defensive: cannot happen while requests have replicas
+		}
+		b.extend(tape, prefix) // step 4: extend envelope
+		b.shrink()             // step 5: shrink envelopes
+	} // step 6: iterate
+	return b
+}
+
+// initialEnvelope sets each tape's envelope to the head position after
+// reading its highest non-replicated requested block, and stretches the
+// mounted tape's envelope to the current head position if needed.
+func (b *builder) initialEnvelope() {
+	for i, r := range b.reqs {
+		if b.st.Layout.Replicated(r.Block) {
+			continue
+		}
+		c := b.st.Layout.Replicas(r.Block)[0]
+		b.assign(i, c)
+		if c.Pos+1 > b.env[c.Tape] {
+			b.env[c.Tape] = c.Pos + 1
+		}
+	}
+	if b.st.Mounted >= 0 && b.st.Head > b.env[b.st.Mounted] {
+		b.env[b.st.Mounted] = b.st.Head
+	}
+}
+
+// absorb schedules every request that some in-envelope copy can satisfy.
+// When several copies qualify, the mounted tape wins; otherwise the tape
+// with the most scheduled requests, ties broken by jukebox order after the
+// mounted tape.
+func (b *builder) absorb() {
+	for i := range b.reqs {
+		if b.where[i].Tape >= 0 {
+			continue
+		}
+		if c, ok := b.insideChoice(i); ok {
+			b.assign(i, c)
+		}
+	}
+}
+
+// insideChoice picks the copy of request i to absorb, among copies inside
+// the current envelope.
+func (b *builder) insideChoice(i int) (layout.Replica, bool) {
+	var cands []layout.Replica
+	for _, c := range b.st.Layout.Replicas(b.reqs[i].Block) {
+		if c.Pos+1 <= b.env[c.Tape] {
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		return layout.Replica{}, false
+	}
+	for _, c := range cands {
+		if c.Tape == b.st.Mounted {
+			return c, true
+		}
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if b.count[c.Tape] > b.count[best.Tape] ||
+			(b.count[c.Tape] == b.count[best.Tape] &&
+				b.jukeboxRank(c.Tape) < b.jukeboxRank(best.Tape)) {
+			best = c
+		}
+	}
+	return best, true
+}
+
+// jukeboxRank orders tapes circularly starting at the mounted tape (or tape
+// 0 for an empty drive): rank 0 is the mounted tape itself.
+func (b *builder) jukeboxRank(tape int) int {
+	t0 := b.st.Mounted
+	if t0 < 0 {
+		t0 = 0
+	}
+	n := b.st.Layout.Tapes()
+	return ((tape-t0)%n + n) % n
+}
+
+func (b *builder) assign(i int, c layout.Replica) {
+	b.where[i] = c
+	b.count[c.Tape]++
+	b.onT[c.Tape] = append(b.onT[c.Tape], i)
+}
+
+func (b *builder) unassign(i int) {
+	c := b.where[i]
+	b.where[i].Tape = -1
+	b.count[c.Tape]--
+	list := b.onT[c.Tape]
+	for k, idx := range list {
+		if idx == i {
+			b.onT[c.Tape] = append(list[:k], list[k+1:]...)
+			break
+		}
+	}
+}
+
+func (b *builder) unscheduledCount() int {
+	n := 0
+	for i := range b.where {
+		if b.where[i].Tape < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// bestExtension performs step 3: for every tape, form the extension list of
+// unscheduled requests satisfiable by that tape (sorted by position) and
+// compute the incremental bandwidth of each prefix; return the tape and
+// prefix with the highest incremental bandwidth. Ties prefer the tape with
+// the most scheduled requests inside the envelope, then jukebox order.
+func (b *builder) bestExtension() (int, []int) {
+	bestTape := -1
+	var bestPrefix []int
+	bestBW := -1.0
+	for t := 0; t < b.st.Layout.Tapes(); t++ {
+		ext := b.extensionList(t)
+		if len(ext) == 0 {
+			continue
+		}
+		// Evaluate every prefix with a cumulative cost scan.
+		head := b.env[t]
+		cum := 0.0
+		for j, idx := range ext {
+			pos := mustReplicaOn(b.st.Layout, b.reqs[idx].Block, t).Pos
+			step, h := b.st.Costs.ServeOne(head, pos)
+			cum += step
+			head = h
+			total := cum + locateBack(b.st.Costs, head, b.env[t])
+			if b.env[t] == 0 && t != b.st.Mounted {
+				total += b.st.Costs.Prof.SwitchTime()
+			}
+			bw := float64(j+1) * b.st.Costs.BlockMB / total
+			if bw > bestBW+1e-12 ||
+				(bw > bestBW-1e-12 && bestTape >= 0 && b.betterTie(t, bestTape)) {
+				bestTape, bestBW = t, bw
+				bestPrefix = append(bestPrefix[:0], ext[:j+1]...)
+			}
+		}
+	}
+	return bestTape, bestPrefix
+}
+
+// betterTie reports whether tape a beats tape c on the step-4 tie-break.
+func (b *builder) betterTie(a, c int) bool {
+	if b.count[a] != b.count[c] {
+		return b.count[a] > b.count[c]
+	}
+	return b.jukeboxRank(a) < b.jukeboxRank(c)
+}
+
+// extensionList returns the indices of unscheduled requests with a copy on
+// tape t, sorted by that copy's position. (All copies of unscheduled
+// requests lie outside the envelope: anything inside was absorbed.)
+func (b *builder) extensionList(t int) []int {
+	var out []int
+	for i := range b.reqs {
+		if b.where[i].Tape >= 0 {
+			continue
+		}
+		if _, ok := b.st.Layout.ReplicaOn(b.reqs[i].Block, t); ok {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		px := mustReplicaOn(b.st.Layout, b.reqs[out[x]].Block, t).Pos
+		py := mustReplicaOn(b.st.Layout, b.reqs[out[y]].Block, t).Pos
+		return px < py
+	})
+	return out
+}
+
+// extend performs step 4: schedule the chosen prefix on the tape and push
+// the envelope out to cover it.
+func (b *builder) extend(tape int, prefix []int) {
+	for _, i := range prefix {
+		c := mustReplicaOn(b.st.Layout, b.reqs[i].Block, tape)
+		b.assign(i, c)
+		if c.Pos+1 > b.env[tape] {
+			b.env[tape] = c.Pos + 1
+		}
+	}
+}
+
+// shrink performs step 5: while some replicated request scheduled at the
+// outer edge of tape a's envelope is also satisfiable inside another tape's
+// envelope, move it there and pull tape a's envelope back to its next
+// scheduled request. Among multiple shrinkable tapes, the one with the
+// fewest scheduled requests goes first, ties to the lowest jukebox rank.
+//
+// A move is only taken when it strictly shrinks the source envelope (the
+// paper shrinks "back to the preceding request"); this rules out zero-gain
+// moves when duplicate requests pin the same edge position and guarantees
+// termination, since every iteration strictly decreases the total envelope.
+func (b *builder) shrink() {
+	for {
+		cand := -1
+		for a := 0; a < b.st.Layout.Tapes(); a++ {
+			if _, _, ok := b.shrinkMove(a); !ok {
+				continue
+			}
+			if cand < 0 ||
+				b.count[a] < b.count[cand] ||
+				(b.count[a] == b.count[cand] && b.jukeboxRank(a) < b.jukeboxRank(cand)) {
+				cand = a
+			}
+		}
+		if cand < 0 {
+			return
+		}
+		b.shrinkOne(cand)
+	}
+}
+
+// shrinkMove determines whether tape a's envelope can shrink: its edge must
+// be defined by a scheduled request, moving that request must strictly
+// lower the envelope, and the request must be satisfiable inside another
+// tape's envelope. It returns the edge request index and the post-move
+// envelope boundary.
+func (b *builder) shrinkMove(a int) (edge, newEnv int, ok bool) {
+	edge, maxPos, second := -1, -1, -1
+	for _, i := range b.onT[a] {
+		p := b.where[i].Pos
+		if p > maxPos {
+			edge, second = i, maxPos
+			maxPos = p
+		} else if p > second {
+			second = p
+		}
+	}
+	if edge < 0 || maxPos+1 != b.env[a] {
+		return -1, 0, false // envelope pinned by the head or empty
+	}
+	newEnv = second + 1
+	if a == b.st.Mounted && b.st.Head > newEnv {
+		newEnv = b.st.Head
+	}
+	if newEnv >= b.env[a] {
+		return -1, 0, false // no strict shrink (duplicate edge position)
+	}
+	if _, reloc := b.relocation(a, edge); !reloc {
+		return -1, 0, false
+	}
+	return edge, newEnv, true
+}
+
+// relocation finds the copy that the edge request of tape a should move to:
+// a copy on another tape strictly inside that tape's envelope. Among
+// several, the tape with the most scheduled requests wins, ties by jukebox
+// order (mirroring the absorb rule).
+func (b *builder) relocation(a, edge int) (layout.Replica, bool) {
+	var best layout.Replica
+	found := false
+	for _, c := range b.st.Layout.Replicas(b.reqs[edge].Block) {
+		if c.Tape == a || c.Pos+1 > b.env[c.Tape] {
+			continue
+		}
+		if !found ||
+			b.count[c.Tape] > b.count[best.Tape] ||
+			(b.count[c.Tape] == b.count[best.Tape] &&
+				b.jukeboxRank(c.Tape) < b.jukeboxRank(best.Tape)) {
+			best, found = c, true
+		}
+	}
+	return best, found
+}
+
+// shrinkOne moves tape a's edge request elsewhere and pulls the envelope
+// back to the next scheduled request (or the mounted head / zero).
+func (b *builder) shrinkOne(a int) {
+	edge, newEnv, ok := b.shrinkMove(a)
+	if !ok {
+		return
+	}
+	c, _ := b.relocation(a, edge)
+	b.unassign(edge)
+	b.assign(edge, c)
+	b.env[a] = newEnv
+}
+
+// mustReplicaOn is ReplicaOn for copies known to exist.
+func mustReplicaOn(l *layout.Layout, blk layout.BlockID, tape int) layout.Replica {
+	c, ok := l.ReplicaOn(blk, tape)
+	if !ok {
+		panic("core: missing replica")
+	}
+	return c
+}
+
+// locateBack returns the cost of locating from block boundary `from` back
+// to boundary `to` (the "locate back to the position of the current
+// envelope" term of the step-3 incremental cost).
+func locateBack(costs *sched.CostModel, from, to int) float64 {
+	sec, _ := costs.Prof.Locate(costs.PosMB(from), costs.PosMB(to))
+	return sec
+}
+
+// extensionCost is the step-3 incremental cost of extending tape t's
+// envelope (currently at `env`) through the given positions in order:
+// locate+read through the positions, locate back to the envelope, plus the
+// mechanical switch cost for a tape not yet in the schedule.
+func extensionCost(st *sched.State, env, tape int, positions []int) float64 {
+	head := env
+	total := 0.0
+	for _, pos := range positions {
+		step, h := st.Costs.ServeOne(head, pos)
+		total += step
+		head = h
+	}
+	total += locateBack(st.Costs, head, env)
+	if env == 0 && tape != st.Mounted {
+		total += st.Costs.Prof.SwitchTime()
+	}
+	return total
+}
+
+// sweepOrderInts arranges positions into sweep execution order from the
+// given head: ascending positions at or above the head, then descending
+// positions below it.
+func sweepOrderInts(positions []int, head int) []int {
+	fwd := make([]int, 0, len(positions))
+	var rev []int
+	for _, p := range positions {
+		if p >= head {
+			fwd = append(fwd, p)
+		} else {
+			rev = append(rev, p)
+		}
+	}
+	sort.Ints(fwd)
+	sort.Sort(sort.Reverse(sort.IntSlice(rev)))
+	return append(fwd, rev...)
+}

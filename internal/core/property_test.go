@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tapejuke/internal/layout"
+	"tapejuke/internal/sched"
+)
+
+// Property: over random paper-space layouts and request sets, the upper
+// envelope (1) covers every request, (2) never regresses below the mounted
+// head, and (3) never exceeds one block past the outermost copy on a tape.
+func TestEnvelopeInvariantsProperty(t *testing.T) {
+	f := func(seed int64, nrRaw, reqRaw, headRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nr := int(nrRaw) % 10
+		l, err := layout.Build(layout.Config{
+			Tapes: 10, TapeCapBlocks: 448, HotPercent: 10,
+			Replicas: nr, Kind: layout.Vertical, StartPos: 1,
+		})
+		if err != nil {
+			return false
+		}
+		mounted := rng.Intn(10)
+		head := int(headRaw) % 449
+		st := &sched.State{Layout: l, Costs: costs(), Mounted: mounted, Head: head}
+		n := int(reqRaw)%100 + 1
+		for i := 0; i < n; i++ {
+			st.Pending = append(st.Pending, &sched.Request{
+				ID: int64(i), Block: layout.BlockID(rng.Intn(l.NumBlocks())),
+			})
+		}
+		env := computeUpperEnvelope(st)
+		if env[mounted] < head {
+			return false
+		}
+		for _, r := range st.Pending {
+			inside := false
+			for _, c := range l.Replicas(r.Block) {
+				if c.Pos+1 <= env[c.Tape] {
+					inside = true
+					break
+				}
+			}
+			if !inside {
+				return false
+			}
+		}
+		// Envelopes are bounded by the furthest requested copy (or head).
+		maxPos := make([]int, 10)
+		for i := range maxPos {
+			maxPos[i] = 0
+		}
+		for _, r := range st.Pending {
+			for _, c := range l.Replicas(r.Block) {
+				if c.Pos+1 > maxPos[c.Tape] {
+					maxPos[c.Tape] = c.Pos + 1
+				}
+			}
+		}
+		if head > maxPos[mounted] {
+			maxPos[mounted] = head
+		}
+		for tape, e := range env {
+			if e > maxPos[tape] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a full Reschedule conserves requests (extracted + remaining ==
+// original) and every extracted request is targeted at a real copy on the
+// selected tape.
+func TestRescheduleConservationProperty(t *testing.T) {
+	f := func(seed int64, variantRaw, reqRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l, err := layout.Build(layout.Config{
+			Tapes: 10, TapeCapBlocks: 448, HotPercent: 10,
+			Replicas: int(variantRaw) % 10, Kind: layout.Vertical, StartPos: 1,
+		})
+		if err != nil {
+			return false
+		}
+		e := NewEnvelope(Variant(int(variantRaw) % 3))
+		st := &sched.State{Layout: l, Costs: costs(), Mounted: -1}
+		n := int(reqRaw)%80 + 1
+		ids := make(map[int64]bool)
+		for i := 0; i < n; i++ {
+			r := &sched.Request{ID: int64(i), Block: layout.BlockID(rng.Intn(l.NumBlocks()))}
+			st.Pending = append(st.Pending, r)
+			ids[r.ID] = true
+		}
+		tape, sweep, ok := e.Reschedule(st)
+		if !ok {
+			return false
+		}
+		seen := make(map[int64]bool)
+		for _, r := range sweep.Requests() {
+			if seen[r.ID] {
+				return false // duplicate
+			}
+			seen[r.ID] = true
+			c, exists := l.ReplicaOn(r.Block, tape)
+			if !exists || c != r.Target {
+				return false
+			}
+		}
+		for _, r := range st.Pending {
+			if seen[r.ID] {
+				return false // both extracted and pending
+			}
+			seen[r.ID] = true
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

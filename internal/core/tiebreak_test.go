@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"tapejuke/internal/layout"
+)
+
+// Step 2's replica choice: "choose the currently-mounted tape if possible,
+// or the tape having maximal number of scheduled requests that is first in
+// jukebox order after the currently mounted tape."
+func TestAbsorbPrefersMountedTape(t *testing.T) {
+	// X pins tape 1's envelope, Y pins tape 2's; Z is replicated inside
+	// both envelopes.
+	l, err := layout.NewManual(3, 100, 0, [][]layout.Replica{
+		{{Tape: 1, Pos: 5}},                    // X
+		{{Tape: 2, Pos: 7}},                    // Y
+		{{Tape: 1, Pos: 2}, {Tape: 2, Pos: 3}}, // Z
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stateFor(t, l, 2, 0) // tape 2 mounted
+	for i := 0; i < 3; i++ {
+		addReq(st, int64(i), layout.BlockID(i))
+	}
+	b := buildEnvelope(st)
+	if got := b.where[2].Tape; got != 2 {
+		t.Errorf("Z absorbed on tape %d, want the mounted tape 2", got)
+	}
+}
+
+func TestAbsorbPrefersBusierTape(t *testing.T) {
+	// No tape mounted; tape 2 has two scheduled non-replicated requests,
+	// tape 1 has one. Z (inside both envelopes) must join tape 2.
+	l, err := layout.NewManual(3, 100, 0, [][]layout.Replica{
+		{{Tape: 1, Pos: 5}},
+		{{Tape: 2, Pos: 7}},
+		{{Tape: 2, Pos: 6}},
+		{{Tape: 1, Pos: 2}, {Tape: 2, Pos: 3}}, // Z
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stateFor(t, l, -1, 0)
+	for i := 0; i < 4; i++ {
+		addReq(st, int64(i), layout.BlockID(i))
+	}
+	b := buildEnvelope(st)
+	if got := b.where[3].Tape; got != 2 {
+		t.Errorf("Z absorbed on tape %d, want the busier tape 2", got)
+	}
+}
+
+func TestAbsorbTieBreaksByJukeboxOrder(t *testing.T) {
+	// Equal scheduled counts on tapes 1 and 2, nothing mounted: jukebox
+	// order from tape 0 prefers tape 1.
+	l, err := layout.NewManual(3, 100, 0, [][]layout.Replica{
+		{{Tape: 1, Pos: 5}},
+		{{Tape: 2, Pos: 7}},
+		{{Tape: 1, Pos: 2}, {Tape: 2, Pos: 3}}, // Z
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stateFor(t, l, -1, 0)
+	for i := 0; i < 3; i++ {
+		addReq(st, int64(i), layout.BlockID(i))
+	}
+	b := buildEnvelope(st)
+	if got := b.where[2].Tape; got != 1 {
+		t.Errorf("Z absorbed on tape %d, want tape 1 (first in jukebox order)", got)
+	}
+	// With tape 2 mounted, the circular order starts there instead.
+	st = stateFor(t, l, 2, 0)
+	for i := 0; i < 3; i++ {
+		addReq(st, int64(i), layout.BlockID(i))
+	}
+	b = buildEnvelope(st)
+	if got := b.where[2].Tape; got != 2 {
+		t.Errorf("Z absorbed on tape %d, want the mounted tape 2", got)
+	}
+}
+
+// Step 4's tie-break: identical incremental bandwidths go to the tape with
+// more scheduled requests, then to jukebox order.
+func TestExtensionTieBreaks(t *testing.T) {
+	// R is replicated at the same position on tapes 1 and 2 (identical
+	// extension cost from empty envelopes). With nothing else scheduled,
+	// jukebox order from tape 0 prefers tape 1.
+	l, err := layout.NewManual(3, 100, 0, [][]layout.Replica{
+		{{Tape: 1, Pos: 4}, {Tape: 2, Pos: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stateFor(t, l, -1, 0)
+	addReq(st, 1, 0)
+	b := buildEnvelope(st)
+	if got := b.where[0].Tape; got != 1 {
+		t.Errorf("R extended onto tape %d, want tape 1", got)
+	}
+
+	// Mounting tape 2 rotates the jukebox order so its rank drops to 0 and
+	// it wins the same tie.
+	st = stateFor(t, l, 2, 0)
+	addReq(st, 1, 0)
+	b = buildEnvelope(st)
+	if got := b.where[0].Tape; got != 2 {
+		t.Errorf("R extended onto tape %d, want the mounted tape 2 (rank 0)", got)
+	}
+}
+
+// The oldest-request envelope variant only considers tapes whose envelope
+// can satisfy the oldest request.
+func TestOldestVariantRestriction(t *testing.T) {
+	l, err := layout.NewManual(2, 100, 0, [][]layout.Replica{
+		{{Tape: 1, Pos: 3}}, // oldest: only on tape 1
+		{{Tape: 0, Pos: 1}},
+		{{Tape: 0, Pos: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stateFor(t, l, -1, 0)
+	addReq(st, 1, 0) // oldest
+	addReq(st, 2, 1)
+	addReq(st, 3, 2)
+	tape, sweep, ok := NewEnvelope(OldestRequest).Reschedule(st)
+	if !ok || tape != 1 {
+		t.Fatalf("chose tape %d (ok=%v), want 1", tape, ok)
+	}
+	if sweep.Len() != 1 {
+		t.Errorf("sweep length %d, want 1 (only the oldest lives there)", sweep.Len())
+	}
+	// Tape 0's two requests stay pending for the next reschedule.
+	if len(st.Pending) != 2 {
+		t.Errorf("pending = %d, want 2", len(st.Pending))
+	}
+}

@@ -1,0 +1,99 @@
+package farm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpansionFactor(t *testing.T) {
+	cases := []struct {
+		nr   int
+		ph   float64
+		want float64
+	}{
+		{0, 10, 1},
+		{9, 10, 1.9},
+		{4, 25, 2},
+		{9, 0, 1},
+		{1, 100, 2},
+	}
+	for _, c := range cases {
+		if got := ExpansionFactor(c.nr, c.ph); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("E(%d,%v) = %v, want %v", c.nr, c.ph, got, c.want)
+		}
+	}
+}
+
+func TestScaledQueueLength(t *testing.T) {
+	if q, err := ScaledQueueLength(60, 1.9); err != nil || q != 32 {
+		t.Errorf("60/1.9 -> %d (%v), want 32", q, err)
+	}
+	if q, err := ScaledQueueLength(60, 1); err != nil || q != 60 {
+		t.Errorf("60/1 -> %d (%v), want 60", q, err)
+	}
+	if q, err := ScaledQueueLength(1, 10); err != nil || q != 1 {
+		t.Errorf("1/10 -> %d (%v), want floor of 1", q, err)
+	}
+	if _, err := ScaledQueueLength(0, 1.5); err == nil {
+		t.Error("zero base accepted")
+	}
+	if _, err := ScaledQueueLength(10, 0.5); err == nil {
+		t.Error("expansion below 1 accepted")
+	}
+}
+
+func TestCostPerformanceRatio(t *testing.T) {
+	if r, err := CostPerformanceRatio(110, 100); err != nil || math.Abs(r-1.1) > 1e-12 {
+		t.Errorf("ratio = %v (%v), want 1.1", r, err)
+	}
+	if _, err := CostPerformanceRatio(1, 0); err == nil {
+		t.Error("zero baseline accepted")
+	}
+	if _, err := CostPerformanceRatio(-1, 10); err == nil {
+		t.Error("negative throughput accepted")
+	}
+}
+
+func TestJukeboxes(t *testing.T) {
+	// 100 GB of data, 70 GB jukeboxes, no replication: 2 jukeboxes.
+	if n, err := Jukeboxes(102400, 71680, 1); err != nil || n != 2 {
+		t.Errorf("n = %d (%v), want 2", n, err)
+	}
+	// Full replication of 10% hot data: E=1.9 pushes it to 3.
+	if n, err := Jukeboxes(102400, 71680, 1.9); err != nil || n != 3 {
+		t.Errorf("n = %d (%v), want 3", n, err)
+	}
+	// Exact fit does not round up.
+	if n, err := Jukeboxes(71680, 71680, 1); err != nil || n != 1 {
+		t.Errorf("n = %d (%v), want 1", n, err)
+	}
+	if n, err := Jukeboxes(0, 71680, 1); err != nil || n != 1 {
+		t.Errorf("empty farm n = %d (%v), want minimum 1", n, err)
+	}
+	if _, err := Jukeboxes(100, 0, 1); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+// Property: E is monotone in both NR and PH, and the farm never shrinks
+// when E grows.
+func TestMonotonicityProperty(t *testing.T) {
+	f := func(nr1, nr2 uint8, phRaw uint8) bool {
+		a, b := int(nr1)%10, int(nr2)%10
+		if a > b {
+			a, b = b, a
+		}
+		ph := float64(phRaw % 101)
+		ea, eb := ExpansionFactor(a, ph), ExpansionFactor(b, ph)
+		if ea > eb {
+			return false
+		}
+		na, err1 := Jukeboxes(1e6, 71680, ea)
+		nb, err2 := Jukeboxes(1e6, 71680, eb)
+		return err1 == nil && err2 == nil && na <= nb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

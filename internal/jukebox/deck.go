@@ -1,0 +1,148 @@
+// Package jukebox provides an imperative model of a robotic tape library:
+// a Deck wraps one drive and a set of tapes and exposes the physical
+// operations (mount, locate, read, rewind) with simulated-time accounting.
+//
+// The discrete-event simulator in internal/sim drives its own inlined drive
+// state for speed; Deck is the library-facing building block for callers
+// who want direct control -- replaying traces, validating schedules
+// computed elsewhere, or scripting experiments operation by operation.
+package jukebox
+
+import (
+	"errors"
+	"fmt"
+
+	"tapejuke/internal/tapemodel"
+)
+
+// Deck is one drive plus its tape pool. The zero value is not usable; see
+// NewDeck. All times are simulated seconds accumulated in Clock.
+type Deck struct {
+	prof    tapemodel.Positioner
+	blockMB float64
+	tapes   int
+	capBlk  int
+
+	mounted int // -1 when the drive is empty
+	head    int // block boundary on the mounted tape
+
+	clock     float64
+	locateSec float64
+	readSec   float64
+	switchSec float64
+	reads     int64
+	switches  int64
+}
+
+// NewDeck builds a deck of `tapes` tapes of capBlocks blocks of blockMB
+// megabytes each, served by a drive with the given timing model.
+func NewDeck(prof tapemodel.Positioner, blockMB float64, tapes, capBlocks int) (*Deck, error) {
+	if prof == nil {
+		return nil, errors.New("jukebox: nil drive profile")
+	}
+	if blockMB <= 0 || tapes < 1 || capBlocks < 1 {
+		return nil, fmt.Errorf("jukebox: invalid geometry (%v MB x %d x %d)", blockMB, tapes, capBlocks)
+	}
+	return &Deck{
+		prof:    prof,
+		blockMB: blockMB,
+		tapes:   tapes,
+		capBlk:  capBlocks,
+		mounted: -1,
+	}, nil
+}
+
+// Clock returns the accumulated simulated time.
+func (d *Deck) Clock() float64 { return d.clock }
+
+// Mounted returns the mounted tape index, or -1 for an empty drive.
+func (d *Deck) Mounted() int { return d.mounted }
+
+// Head returns the head position (block boundary) on the mounted tape.
+func (d *Deck) Head() int { return d.head }
+
+// Stats returns operation counts and the time decomposition.
+func (d *Deck) Stats() (reads, switches int64, locateSec, readSec, switchSec float64) {
+	return d.reads, d.switches, d.locateSec, d.readSec, d.switchSec
+}
+
+func (d *Deck) posMB(pos int) float64 { return float64(pos) * d.blockMB }
+
+// Mount makes `tape` the mounted tape, rewinding and ejecting the current
+// one if necessary. Mounting the mounted tape is free. It returns the
+// elapsed time.
+func (d *Deck) Mount(tape int) (float64, error) {
+	if tape < 0 || tape >= d.tapes {
+		return 0, fmt.Errorf("jukebox: tape %d out of range [0,%d)", tape, d.tapes)
+	}
+	if tape == d.mounted {
+		return 0, nil
+	}
+	var sec float64
+	if d.mounted < 0 {
+		sec = d.prof.InitialLoad()
+	} else {
+		sec = d.prof.FullSwitch(d.posMB(d.head))
+	}
+	d.mounted = tape
+	d.head = 0
+	d.clock += sec
+	d.switchSec += sec
+	d.switches++
+	return sec, nil
+}
+
+// ReadBlock positions to `pos` on the mounted tape and reads one block,
+// returning the elapsed time (locate + transfer).
+func (d *Deck) ReadBlock(pos int) (float64, error) {
+	if d.mounted < 0 {
+		return 0, errors.New("jukebox: no tape mounted")
+	}
+	if pos < 0 || pos >= d.capBlk {
+		return 0, fmt.Errorf("jukebox: position %d out of range [0,%d)", pos, d.capBlk)
+	}
+	loc, dir := d.prof.Locate(d.posMB(d.head), d.posMB(pos))
+	rd := d.prof.Read(d.blockMB, dir)
+	d.head = pos + 1
+	d.clock += loc + rd
+	d.locateSec += loc
+	d.readSec += rd
+	d.reads++
+	return loc + rd, nil
+}
+
+// Rewind returns the head to the beginning of the mounted tape.
+func (d *Deck) Rewind() (float64, error) {
+	if d.mounted < 0 {
+		return 0, errors.New("jukebox: no tape mounted")
+	}
+	sec := d.prof.Rewind(d.posMB(d.head))
+	d.head = 0
+	d.clock += sec
+	d.switchSec += sec
+	return sec, nil
+}
+
+// Idle advances the clock without drive activity (waiting for work).
+func (d *Deck) Idle(sec float64) error {
+	if sec < 0 {
+		return errors.New("jukebox: negative idle time")
+	}
+	d.clock += sec
+	return nil
+}
+
+// ExecuteSweep reads the given positions in order on the mounted tape and
+// returns the total elapsed time. It is the Deck-level equivalent of
+// executing a service list.
+func (d *Deck) ExecuteSweep(positions []int) (float64, error) {
+	total := 0.0
+	for _, p := range positions {
+		sec, err := d.ReadBlock(p)
+		if err != nil {
+			return total, err
+		}
+		total += sec
+	}
+	return total, nil
+}

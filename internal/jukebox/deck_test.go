@@ -1,0 +1,172 @@
+package jukebox
+
+import (
+	"math"
+	"testing"
+
+	"tapejuke/internal/tapemodel"
+)
+
+func newDeck(t *testing.T) *Deck {
+	t.Helper()
+	d, err := NewDeck(tapemodel.EXB8505XL(), 16, 10, 448)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDeckConstruction(t *testing.T) {
+	bad := []struct {
+		prof    tapemodel.Positioner
+		mb      float64
+		tapes   int
+		capBlks int
+	}{
+		{nil, 16, 10, 448},
+		{tapemodel.EXB8505XL(), 0, 10, 448},
+		{tapemodel.EXB8505XL(), 16, 0, 448},
+		{tapemodel.EXB8505XL(), 16, 10, 0},
+	}
+	for i, c := range bad {
+		if _, err := NewDeck(c.prof, c.mb, c.tapes, c.capBlks); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	d := newDeck(t)
+	if d.Mounted() != -1 || d.Head() != 0 || d.Clock() != 0 {
+		t.Error("fresh deck not in the empty state")
+	}
+}
+
+func TestDeckMountSemantics(t *testing.T) {
+	d := newDeck(t)
+	// First mount into an empty drive: robot + load only.
+	sec, err := d.Mount(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sec, 62) { // 20 + 42
+		t.Errorf("initial load = %v, want 62", sec)
+	}
+	// Re-mounting the mounted tape is free.
+	sec, err = d.Mount(3)
+	if err != nil || sec != 0 {
+		t.Errorf("same-tape mount = %v (%v), want 0", sec, err)
+	}
+	// Read something, then switch: rewind + BOT + 81.
+	if _, err := d.ReadBlock(10); err != nil {
+		t.Fatal(err)
+	}
+	sec, err = d.Mount(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := tapemodel.EXB8505XL()
+	want := prof.FullSwitch(11 * 16)
+	if !almost(sec, want) {
+		t.Errorf("switch = %v, want %v", sec, want)
+	}
+	if d.Head() != 0 || d.Mounted() != 4 {
+		t.Error("switch did not reset the head")
+	}
+	if _, err := d.Mount(99); err == nil {
+		t.Error("out-of-range tape accepted")
+	}
+}
+
+func TestDeckReadAccounting(t *testing.T) {
+	d := newDeck(t)
+	if _, err := d.ReadBlock(0); err == nil {
+		t.Error("read with empty drive accepted")
+	}
+	if _, err := d.Mount(0); err != nil {
+		t.Fatal(err)
+	}
+	prof := tapemodel.EXB8505XL()
+	sec, err := d.ReadBlock(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLoc := prof.LocateForward(160)
+	wantRead := prof.Read(16, tapemodel.Forward)
+	if !almost(sec, wantLoc+wantRead) {
+		t.Errorf("read = %v, want %v", sec, wantLoc+wantRead)
+	}
+	if d.Head() != 11 {
+		t.Errorf("head = %d, want 11", d.Head())
+	}
+	if _, err := d.ReadBlock(448); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	reads, switches, loc, rd, sw := d.Stats()
+	if reads != 1 || switches != 1 {
+		t.Errorf("counts: %d reads, %d switches", reads, switches)
+	}
+	if !almost(loc, wantLoc) || !almost(rd, wantRead) || !almost(sw, 62) {
+		t.Errorf("decomposition: loc=%v rd=%v sw=%v", loc, rd, sw)
+	}
+	if !almost(d.Clock(), 62+wantLoc+wantRead) {
+		t.Errorf("clock = %v", d.Clock())
+	}
+}
+
+func TestDeckRewindAndIdle(t *testing.T) {
+	d := newDeck(t)
+	if _, err := d.Rewind(); err == nil {
+		t.Error("rewind with empty drive accepted")
+	}
+	d.Mount(0)
+	d.ReadBlock(100)
+	prof := tapemodel.EXB8505XL()
+	sec, err := d.Rewind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sec, prof.Rewind(101*16)) {
+		t.Errorf("rewind = %v", sec)
+	}
+	if d.Head() != 0 {
+		t.Error("rewind left the head away from BOT")
+	}
+	before := d.Clock()
+	if err := d.Idle(100); err != nil || !almost(d.Clock(), before+100) {
+		t.Error("idle did not advance the clock")
+	}
+	if err := d.Idle(-1); err == nil {
+		t.Error("negative idle accepted")
+	}
+}
+
+// ExecuteSweep on a deck must agree exactly with the scheduling cost model
+// used by the simulator: two implementations of the same physics.
+func TestDeckAgreesWithCostModel(t *testing.T) {
+	d := newDeck(t)
+	d.Mount(2)
+	positions := []int{5, 9, 30, 12, 3}
+	got, err := d.ExecuteSweep(positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute with the cost model formulae.
+	prof := tapemodel.EXB8505XL()
+	head, want := 0, 0.0
+	for _, p := range positions {
+		loc, dir := prof.Locate(float64(head)*16, float64(p)*16)
+		want += loc + prof.Read(16, dir)
+		head = p + 1
+	}
+	if !almost(got, want) {
+		t.Errorf("sweep = %v, want %v", got, want)
+	}
+	// A failing position aborts mid-sweep but keeps prior accounting.
+	partial, err := d.ExecuteSweep([]int{1, 9999})
+	if err == nil {
+		t.Error("invalid position accepted")
+	}
+	if partial <= 0 {
+		t.Error("partial sweep time lost")
+	}
+}

@@ -1,0 +1,53 @@
+package layout
+
+import "testing"
+
+func benchBuild(b *testing.B, cfg Config) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildNoReplication(b *testing.B) {
+	benchBuild(b, Config{Tapes: 10, TapeCapBlocks: 448, HotPercent: 10})
+}
+
+func BenchmarkBuildFullReplication(b *testing.B) {
+	benchBuild(b, Config{
+		Tapes: 10, TapeCapBlocks: 448, HotPercent: 10,
+		Replicas: 9, Kind: Vertical, StartPos: 1,
+	})
+}
+
+func BenchmarkReplicaOn(b *testing.B) {
+	l, err := Build(Config{
+		Tapes: 10, TapeCapBlocks: 448, HotPercent: 10,
+		Replicas: 9, Kind: Vertical, StartPos: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.ReplicaOn(BlockID(i%l.NumBlocks()), i%10)
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	l, err := Build(Config{
+		Tapes: 10, TapeCapBlocks: 448, HotPercent: 10,
+		Replicas: 9, Kind: Vertical, StartPos: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

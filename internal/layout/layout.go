@@ -1,0 +1,387 @@
+// Package layout maps logical data blocks onto tape positions in a jukebox,
+// implementing the placement and replication schemes studied in Section 4 of
+// the paper: horizontal vs. vertical hot-data layouts, the normalized
+// start-position parameter SP, and NR-way replication of hot blocks with at
+// most one copy of a block per tape.
+//
+// Logical blocks are numbered 0..NumBlocks-1 with the hot blocks first
+// (0..NumHot-1), which lets the workload generator draw hot and cold
+// requests from simple integer ranges.
+package layout
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BlockID identifies a logical data block.
+type BlockID int
+
+// Replica is one physical copy of a logical block: a tape index and a block
+// position on that tape (positions are numbered from 0 at the beginning of
+// the tape).
+type Replica struct {
+	Tape int
+	Pos  int
+}
+
+// Kind selects the hot-data layout across tapes.
+type Kind int
+
+const (
+	// Horizontal distributes hot blocks (and their replicas) across all
+	// tapes in the jukebox.
+	Horizontal Kind = iota
+	// Vertical collects all hot originals onto a single tape (tape 0);
+	// replicas, if any, are distributed round-robin across the remaining
+	// tapes.
+	Vertical
+)
+
+// String names the layout kind.
+func (k Kind) String() string {
+	if k == Vertical {
+		return "vertical"
+	}
+	return "horizontal"
+}
+
+// Config describes a data layout to build.
+type Config struct {
+	Tapes         int     // number of tapes in the jukebox
+	TapeCapBlocks int     // capacity of each tape, in blocks
+	HotPercent    float64 // PH: percent of logical blocks that are hot
+	Replicas      int     // NR: extra copies of each hot block (0..Tapes-1)
+	Kind          Kind    // horizontal or vertical hot layout
+	StartPos      float64 // SP in [0,1]: normalized start of the hot region within a tape
+
+	// DataBlocks, when positive, fixes the number of logical blocks stored
+	// instead of filling the jukebox to capacity: a partially filled
+	// library, as in the paper's gradual-fill scenario (Section 4.8). The
+	// blocks plus all replicas must fit.
+	DataBlocks int
+	// PackAfterData places each tape's hot/replica region immediately
+	// after that tape's cold data instead of at the StartPos-scaled
+	// position -- "append replicas at the ends of the tapes" in the
+	// append-only sense that matters on a partially filled tape (data must
+	// be contiguous from the beginning of a helical tape, and locating
+	// across blank tape to a far region wastes time). StartPos is ignored
+	// when set.
+	PackAfterData bool
+}
+
+// Layout is an immutable mapping from logical blocks to tape positions.
+type Layout struct {
+	cfg     Config
+	numHot  int
+	manual  bool        // built by NewManual: replica counts are caller-chosen
+	copies  [][]Replica // indexed by BlockID; copies[b][0] is the original
+	blockAt [][]BlockID // [tape][pos] -> block, or -1 for unused positions
+}
+
+// Build computes a layout for the given configuration. The number of logical
+// blocks is derived from the jukebox capacity and the replication expansion
+// factor E = 1 + NR*PH/100: replicas consume capacity that would otherwise
+// hold cold data, exactly as in Section 4.8 of the paper.
+func Build(cfg Config) (*Layout, error) {
+	if cfg.Tapes < 1 {
+		return nil, errors.New("layout: need at least one tape")
+	}
+	if cfg.TapeCapBlocks < 1 {
+		return nil, errors.New("layout: tape capacity must be positive")
+	}
+	if cfg.HotPercent < 0 || cfg.HotPercent > 100 {
+		return nil, fmt.Errorf("layout: hot percent %v out of range [0,100]", cfg.HotPercent)
+	}
+	if cfg.Replicas < 0 || cfg.Replicas > cfg.Tapes-1 {
+		return nil, fmt.Errorf("layout: %d replicas impossible with %d tapes (at most one copy per tape)", cfg.Replicas, cfg.Tapes)
+	}
+	if cfg.StartPos < 0 || cfg.StartPos > 1 {
+		return nil, fmt.Errorf("layout: start position %v out of range [0,1]", cfg.StartPos)
+	}
+
+	capacity := cfg.Tapes * cfg.TapeCapBlocks
+	ph := cfg.HotPercent / 100
+	var numBlocks, numHot int
+	if cfg.DataBlocks > 0 {
+		numBlocks = cfg.DataBlocks
+		numHot = int(ph * float64(numBlocks))
+		if numBlocks+numHot*cfg.Replicas > capacity {
+			return nil, fmt.Errorf("layout: %d blocks with %d replicas of %d hot blocks exceed capacity %d",
+				numBlocks, cfg.Replicas, numHot, capacity)
+		}
+	} else {
+		e := 1 + float64(cfg.Replicas)*ph
+		numBlocks = int(float64(capacity) / e)
+		numHot = int(ph * float64(numBlocks))
+		// Rounding can leave the physical footprint slightly over capacity;
+		// trim whole blocks until it fits.
+		for numBlocks+numHot*cfg.Replicas > capacity {
+			numBlocks--
+			numHot = int(ph * float64(numBlocks))
+		}
+	}
+	if numBlocks < 1 {
+		return nil, errors.New("layout: capacity too small for any data")
+	}
+	if cfg.Kind == Vertical && numHot > cfg.TapeCapBlocks {
+		return nil, fmt.Errorf("layout: vertical layout needs %d hot blocks on one tape of capacity %d", numHot, cfg.TapeCapBlocks)
+	}
+	if cfg.Kind == Vertical && numHot > 0 && cfg.Tapes == 1 && cfg.Replicas > 0 {
+		return nil, errors.New("layout: vertical replication needs at least two tapes")
+	}
+
+	l := &Layout{cfg: cfg, numHot: numHot}
+	l.copies = make([][]Replica, numBlocks)
+	l.blockAt = make([][]BlockID, cfg.Tapes)
+	for t := range l.blockAt {
+		row := make([]BlockID, cfg.TapeCapBlocks)
+		for i := range row {
+			row[i] = -1
+		}
+		l.blockAt[t] = row
+	}
+
+	// Assign each hot copy (original + replicas) to a tape.
+	perTapeHot := make([][]BlockID, cfg.Tapes)
+	for b := 0; b < numHot; b++ {
+		tapes := hotCopyTapes(cfg, b)
+		for _, t := range tapes {
+			perTapeHot[t] = append(perTapeHot[t], BlockID(b))
+		}
+	}
+
+	// Place each tape's hot region contiguously, starting at the position
+	// selected by SP (SP=0 puts the region at the beginning of the tape,
+	// SP=1 at the end) or, when packing, right after the tape's share of
+	// cold data.
+	var packStart []int
+	if cfg.PackAfterData {
+		packStart = coldShares(cfg, perTapeHot, numBlocks-numHot)
+		if packStart == nil {
+			return nil, errors.New("layout: cold data does not fit alongside hot regions")
+		}
+	}
+	for t := 0; t < cfg.Tapes; t++ {
+		size := len(perTapeHot[t])
+		if size > cfg.TapeCapBlocks {
+			return nil, fmt.Errorf("layout: tape %d overflows with %d hot copies", t, size)
+		}
+		start := int(cfg.StartPos*float64(cfg.TapeCapBlocks-size) + 0.5)
+		if cfg.PackAfterData {
+			start = packStart[t]
+		}
+		if start+size > cfg.TapeCapBlocks {
+			return nil, fmt.Errorf("layout: tape %d region [%d,%d) exceeds capacity", t, start, start+size)
+		}
+		for i, b := range perTapeHot[t] {
+			pos := start + i
+			l.blockAt[t][pos] = b
+			l.copies[b] = append(l.copies[b], Replica{Tape: t, Pos: pos})
+		}
+	}
+
+	// Originals come first in the copies list: for vertical layouts the
+	// original lives on tape 0; for horizontal, on tape b mod Tapes. The
+	// per-tape assignment above appends in tape order, so reorder when the
+	// original is not already first.
+	for b := 0; b < numHot; b++ {
+		orig := originalTape(cfg, b)
+		cs := l.copies[b]
+		for i, c := range cs {
+			if c.Tape == orig {
+				cs[0], cs[i] = cs[i], cs[0]
+				break
+			}
+		}
+	}
+
+	// Fill cold blocks round-robin across tapes into ascending free
+	// positions, skipping tapes that are full.
+	numCold := numBlocks - numHot
+	nextFree := make([]int, cfg.Tapes) // scan cursor per tape
+	t := 0
+	for c := 0; c < numCold; c++ {
+		b := BlockID(numHot + c)
+		placed := false
+		for tries := 0; tries < cfg.Tapes; tries++ {
+			tt := (t + tries) % cfg.Tapes
+			pos := -1
+			for p := nextFree[tt]; p < cfg.TapeCapBlocks; p++ {
+				if l.blockAt[tt][p] == -1 {
+					pos = p
+					break
+				}
+			}
+			if pos >= 0 {
+				nextFree[tt] = pos + 1
+				l.blockAt[tt][pos] = b
+				l.copies[b] = []Replica{{Tape: tt, Pos: pos}}
+				t = (tt + 1) % cfg.Tapes
+				placed = true
+				break
+			}
+			nextFree[tt] = cfg.TapeCapBlocks
+		}
+		if !placed {
+			return nil, fmt.Errorf("layout: no room for cold block %d", b)
+		}
+	}
+	return l, nil
+}
+
+// coldShares computes, per tape, how many cold blocks the round-robin fill
+// will put on it when each tape's hot region sits immediately after its
+// cold share -- i.e. the region start positions for PackAfterData. Returns
+// nil if the cold blocks cannot fit.
+func coldShares(cfg Config, perTapeHot [][]BlockID, cold int) []int {
+	share := make([]int, cfg.Tapes)
+	room := make([]int, cfg.Tapes)
+	for t := range room {
+		room[t] = cfg.TapeCapBlocks - len(perTapeHot[t])
+	}
+	t := 0
+	for c := 0; c < cold; c++ {
+		placed := false
+		for tries := 0; tries < cfg.Tapes; tries++ {
+			tt := (t + tries) % cfg.Tapes
+			if share[tt] < room[tt] {
+				share[tt]++
+				t = (tt + 1) % cfg.Tapes
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil
+		}
+	}
+	return share
+}
+
+// hotCopyTapes lists the tapes holding copies of hot block b (original
+// first in the vertical sense is handled separately; this list is in
+// ascending rotation order).
+func hotCopyTapes(cfg Config, b int) []int {
+	tapes := make([]int, 0, cfg.Replicas+1)
+	if cfg.Kind == Vertical {
+		tapes = append(tapes, 0)
+		if cfg.Tapes > 1 {
+			rest := cfg.Tapes - 1
+			for r := 0; r < cfg.Replicas; r++ {
+				tapes = append(tapes, 1+(b+r)%rest)
+			}
+		}
+		return tapes
+	}
+	for r := 0; r <= cfg.Replicas; r++ {
+		tapes = append(tapes, (b+r)%cfg.Tapes)
+	}
+	return tapes
+}
+
+// originalTape returns the tape that holds the original (first) copy of hot
+// block b.
+func originalTape(cfg Config, b int) int {
+	if cfg.Kind == Vertical {
+		return 0
+	}
+	return b % cfg.Tapes
+}
+
+// Config returns the configuration this layout was built from.
+func (l *Layout) Config() Config { return l.cfg }
+
+// Tapes returns the number of tapes.
+func (l *Layout) Tapes() int { return l.cfg.Tapes }
+
+// TapeCap returns the per-tape capacity in blocks.
+func (l *Layout) TapeCap() int { return l.cfg.TapeCapBlocks }
+
+// NumBlocks returns the number of logical blocks stored.
+func (l *Layout) NumBlocks() int { return len(l.copies) }
+
+// NumHot returns the number of hot logical blocks (IDs 0..NumHot-1).
+func (l *Layout) NumHot() int { return l.numHot }
+
+// NumCold returns the number of cold logical blocks.
+func (l *Layout) NumCold() int { return len(l.copies) - l.numHot }
+
+// IsHot reports whether block b is hot.
+func (l *Layout) IsHot(b BlockID) bool { return int(b) < l.numHot }
+
+// Replicas returns the physical copies of block b; the original copy is
+// first. The returned slice must not be modified.
+func (l *Layout) Replicas(b BlockID) []Replica { return l.copies[b] }
+
+// Replicated reports whether block b has more than one physical copy.
+func (l *Layout) Replicated(b BlockID) bool { return len(l.copies[b]) > 1 }
+
+// BlockAt returns the logical block stored at (tape, pos), if any.
+func (l *Layout) BlockAt(tape, pos int) (BlockID, bool) {
+	b := l.blockAt[tape][pos]
+	return b, b >= 0
+}
+
+// ReplicaOn returns block b's copy on the given tape, if one exists.
+func (l *Layout) ReplicaOn(b BlockID, tape int) (Replica, bool) {
+	for _, r := range l.copies[b] {
+		if r.Tape == tape {
+			return r, true
+		}
+	}
+	return Replica{}, false
+}
+
+// ExpansionFactor returns E = 1 + NR*PH/100, the storage growth caused by
+// replication (Section 4.8, Figure 10a).
+func (l *Layout) ExpansionFactor() float64 {
+	return 1 + float64(l.cfg.Replicas)*l.cfg.HotPercent/100
+}
+
+// Validate checks the structural invariants of the layout and returns an
+// error describing the first violation. It is used by tests and available to
+// callers who construct unusual configurations.
+func (l *Layout) Validate() error {
+	seen := make(map[Replica]BlockID)
+	for b, cs := range l.copies {
+		if !l.manual {
+			want := 1
+			if l.IsHot(BlockID(b)) && l.cfg.Tapes > 1 {
+				want = 1 + l.cfg.Replicas
+			}
+			if len(cs) != want {
+				return fmt.Errorf("block %d has %d copies, want %d", b, len(cs), want)
+			}
+		}
+		tapes := make(map[int]bool)
+		for _, c := range cs {
+			if c.Tape < 0 || c.Tape >= l.cfg.Tapes || c.Pos < 0 || c.Pos >= l.cfg.TapeCapBlocks {
+				return fmt.Errorf("block %d copy %v out of bounds", b, c)
+			}
+			if tapes[c.Tape] {
+				return fmt.Errorf("block %d has two copies on tape %d", b, c.Tape)
+			}
+			tapes[c.Tape] = true
+			if prev, dup := seen[c]; dup {
+				return fmt.Errorf("position %v holds both block %d and block %d", c, prev, b)
+			}
+			seen[c] = BlockID(b)
+			if got := l.blockAt[c.Tape][c.Pos]; got != BlockID(b) {
+				return fmt.Errorf("blockAt%v = %d, want %d", c, got, b)
+			}
+		}
+	}
+	// Every occupied position must be claimed by some copy.
+	for t := range l.blockAt {
+		for p, b := range l.blockAt[t] {
+			if b == -1 {
+				continue
+			}
+			if _, ok := seen[Replica{Tape: t, Pos: p}]; !ok {
+				return fmt.Errorf("position (%d,%d) holds block %d but no copy claims it", t, p, b)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package layout
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NewManual builds a layout from explicit replica lists: copies[b] holds the
+// physical copies of block b, original first. Blocks 0..numHot-1 are hot.
+// Manual layouts serve tests, examples, and callers with externally
+// determined placements; Build remains the path for the paper's placement
+// policies.
+func NewManual(tapes, tapeCap, numHot int, copies [][]Replica) (*Layout, error) {
+	if tapes < 1 || tapeCap < 1 {
+		return nil, errors.New("layout: need at least one tape with positive capacity")
+	}
+	if numHot < 0 || numHot > len(copies) {
+		return nil, fmt.Errorf("layout: numHot %d out of range [0,%d]", numHot, len(copies))
+	}
+	if len(copies) == 0 {
+		return nil, errors.New("layout: no blocks")
+	}
+	l := &Layout{
+		cfg:    Config{Tapes: tapes, TapeCapBlocks: tapeCap, Kind: Horizontal},
+		numHot: numHot,
+		manual: true,
+	}
+	l.blockAt = make([][]BlockID, tapes)
+	for t := range l.blockAt {
+		row := make([]BlockID, tapeCap)
+		for i := range row {
+			row[i] = -1
+		}
+		l.blockAt[t] = row
+	}
+	l.copies = make([][]Replica, len(copies))
+	for b, cs := range copies {
+		if len(cs) == 0 {
+			return nil, fmt.Errorf("layout: block %d has no copies", b)
+		}
+		tapesSeen := make(map[int]bool)
+		for _, c := range cs {
+			if c.Tape < 0 || c.Tape >= tapes || c.Pos < 0 || c.Pos >= tapeCap {
+				return nil, fmt.Errorf("layout: block %d copy %v out of bounds", b, c)
+			}
+			if tapesSeen[c.Tape] {
+				return nil, fmt.Errorf("layout: block %d has two copies on tape %d", b, c.Tape)
+			}
+			tapesSeen[c.Tape] = true
+			if l.blockAt[c.Tape][c.Pos] != -1 {
+				return nil, fmt.Errorf("layout: position %v already occupied", c)
+			}
+			l.blockAt[c.Tape][c.Pos] = BlockID(b)
+		}
+		l.copies[b] = append([]Replica(nil), cs...)
+	}
+	return l, nil
+}

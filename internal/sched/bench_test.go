@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"tapejuke/internal/layout"
+	"tapejuke/internal/tapemodel"
+)
+
+// benchState builds a pending list of n requests over the paper's jukebox
+// with the given replication.
+func benchState(b *testing.B, n, nr int) *State {
+	b.Helper()
+	kind := layout.Horizontal
+	sp := 0.0
+	if nr > 0 {
+		kind = layout.Vertical
+		sp = 1
+	}
+	l, err := layout.Build(layout.Config{
+		Tapes: 10, TapeCapBlocks: 448, HotPercent: 10,
+		Replicas: nr, Kind: kind, StartPos: sp,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := &State{
+		Layout:  l,
+		Costs:   &CostModel{Prof: tapemodel.EXB8505XL(), BlockMB: 16},
+		Mounted: 3,
+		Head:    100,
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		st.Pending = append(st.Pending, &Request{
+			ID: int64(i), Block: layout.BlockID(rng.Intn(l.NumBlocks())),
+		})
+	}
+	return st
+}
+
+// resetPending restores a pending list consumed by a Reschedule call.
+func resetPending(st *State, saved []*Request) {
+	st.Pending = st.Pending[:0]
+	st.Pending = append(st.Pending, saved...)
+}
+
+func benchReschedule(b *testing.B, s Scheduler, n, nr int) {
+	st := benchState(b, n, nr)
+	saved := append([]*Request(nil), st.Pending...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, ok := s.Reschedule(st)
+		if !ok {
+			b.Fatal("reschedule failed")
+		}
+		resetPending(st, saved)
+	}
+}
+
+func BenchmarkRescheduleStaticMaxRequests140(b *testing.B) {
+	benchReschedule(b, NewStatic(MaxRequests), 140, 0)
+}
+
+func BenchmarkRescheduleStaticMaxBandwidth140(b *testing.B) {
+	benchReschedule(b, NewStatic(MaxBandwidth), 140, 0)
+}
+
+func BenchmarkRescheduleDynamicMaxBandwidth140(b *testing.B) {
+	benchReschedule(b, NewDynamic(MaxBandwidth), 140, 0)
+}
+
+func BenchmarkRescheduleFIFO(b *testing.B) {
+	benchReschedule(b, NewFIFO(), 140, 0)
+}
+
+func BenchmarkSweepBuild140(b *testing.B) {
+	st := benchState(b, 140, 0)
+	reqs := st.SatisfiableBy(3)
+	for _, r := range reqs {
+		c, _ := st.Layout.ReplicaOn(r.Block, 3)
+		r.Target = c
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewSweep(reqs, 100)
+	}
+}
+
+func BenchmarkSweepInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	reqs := make([]*Request, 64)
+	for i := range reqs {
+		reqs[i] = &Request{ID: int64(i), Target: layout.Replica{Tape: 0, Pos: rng.Intn(448)}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSweep(reqs[:32], 0)
+		for _, r := range reqs[32:] {
+			s.Insert(r, 0)
+		}
+	}
+}
+
+func BenchmarkEffectiveBandwidth(b *testing.B) {
+	st := benchState(b, 140, 0)
+	positions := candidatePositions(st, 3)
+	order := sweepOrder(positions, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Costs.EffectiveBandwidth(3, 100, 3, 100, order)
+	}
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"tapejuke/internal/tapemodel"
+)
+
+// CostModel evaluates the execution time of candidate schedules on one tape
+// using the drive timing model. Head positions and block positions are in
+// block units; a head at position h sits at byte offset h*BlockMB megabytes.
+type CostModel struct {
+	Prof    tapemodel.Positioner
+	BlockMB float64
+}
+
+// PosMB converts a block-unit position to a megabyte offset.
+func (c *CostModel) PosMB(pos int) float64 { return float64(pos) * c.BlockMB }
+
+// ServeOne returns the time to serve a single block at position pos with the
+// head currently at block-boundary head, and the resulting head position
+// (pos+1). It charges the locate (with direction-dependent cost and the
+// beginning-of-tape overhead when the target is position 0) plus the
+// direction-dependent read of one block.
+func (c *CostModel) ServeOne(head, pos int) (seconds float64, newHead int) {
+	loc, rd, h := c.ServeOneParts(head, pos)
+	return loc + rd, h
+}
+
+// ServeOneParts is ServeOne with the locate and read components reported
+// separately, for time-decomposition accounting.
+func (c *CostModel) ServeOneParts(head, pos int) (locate, read float64, newHead int) {
+	loc, dir := c.Prof.Locate(c.PosMB(head), c.PosMB(pos))
+	rd := c.Prof.Read(c.BlockMB, dir)
+	return loc, rd, pos + 1
+}
+
+// ExecTime returns the total time to execute the ordered service list
+// `positions` starting with the head at block-boundary head, and the final
+// head position. The list is executed in order, whatever that order is: the
+// sweep-building schedulers pass forward-then-reverse orders, FIFO passes
+// arrival order.
+func (c *CostModel) ExecTime(head int, positions []int) (seconds float64, finalHead int) {
+	total := 0.0
+	for _, pos := range positions {
+		t, h := c.ServeOne(head, pos)
+		total += t
+		head = h
+	}
+	return total, head
+}
+
+// SwitchCost returns the cost of making `tape` the mounted tape when
+// `mounted` (with its head at block-boundary head) is currently loaded.
+// Selecting the mounted tape is free. Loading into an empty drive costs the
+// robotic motion and load only; replacing a tape adds the rewind of the old
+// tape and its ejection.
+func (c *CostModel) SwitchCost(mounted, head, tape int) float64 {
+	if tape == mounted {
+		return 0
+	}
+	if mounted < 0 {
+		return c.Prof.InitialLoad()
+	}
+	return c.Prof.FullSwitch(c.PosMB(head))
+}
+
+// EffectiveBandwidth returns the effective bandwidth (megabytes per second)
+// of retrieving the given service list from `tape`: bytes retrieved divided
+// by tape-switch overhead plus schedule execution time (Section 3.1). The
+// service list must already be in execution order; startHead is the head
+// position the schedule executes from (the current head for the mounted
+// tape, 0 after a switch).
+func (c *CostModel) EffectiveBandwidth(mounted, head, tape, startHead int, positions []int) float64 {
+	if len(positions) == 0 {
+		return 0
+	}
+	sw := c.SwitchCost(mounted, head, tape)
+	exec, _ := c.ExecTime(startHead, positions)
+	total := sw + exec
+	if total <= 0 {
+		return 0
+	}
+	return float64(len(positions)) * c.BlockMB / total
+}

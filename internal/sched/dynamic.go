@@ -1,0 +1,49 @@
+package sched
+
+// Dynamic is a dynamic scheduling algorithm (Section 3.1): the major
+// rescheduler is identical to the static algorithm with the same policy,
+// but requests that arrive during the execution of a service list are
+// inserted into the in-flight sweep on the fly, provided the requested
+// block is on the current tape at a position still ahead of the head.
+type Dynamic struct {
+	policy Policy
+}
+
+// NewDynamic returns the dynamic algorithm with the given tape-selection
+// policy.
+func NewDynamic(p Policy) *Dynamic { return &Dynamic{policy: p} }
+
+// Name returns e.g. "dynamic-max-bandwidth".
+func (d *Dynamic) Name() string { return "dynamic-" + d.policy.String() }
+
+// Policy returns the tape-selection policy.
+func (d *Dynamic) Policy() Policy { return d.policy }
+
+// Reschedule behaves exactly like the static algorithm's major rescheduler.
+func (d *Dynamic) Reschedule(st *State) (int, *Sweep, bool) {
+	tape, ok := SelectTape(st, d.policy)
+	if !ok {
+		return 0, nil, false
+	}
+	return extractTape(st, tape)
+}
+
+// OnArrival inserts the request into the current sweep when its block has a
+// copy on the mounted tape whose position the head has not yet passed.
+func (d *Dynamic) OnArrival(st *State, r *Request) bool {
+	return insertOnMounted(st, r)
+}
+
+// insertOnMounted implements the dynamic incremental scheduler shared by
+// the dynamic algorithms and (within the envelope) the envelope algorithms.
+func insertOnMounted(st *State, r *Request) bool {
+	if st.Active == nil || st.Mounted < 0 {
+		return false
+	}
+	c, ok := st.Layout.ReplicaOn(r.Block, st.Mounted)
+	if !ok {
+		return false
+	}
+	r.Target = c
+	return st.Active.Insert(r, st.Head)
+}

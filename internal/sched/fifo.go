@@ -1,0 +1,53 @@
+package sched
+
+import "tapejuke/internal/layout"
+
+// FIFO services requests strictly in arrival order. Each major reschedule
+// serves exactly the oldest pending request; for random requests nearly
+// every retrieval incurs a tape rewind, switch, and long locate, which is
+// why the paper uses FIFO as the lower baseline (its Figure 4 curve is a
+// vertical line: longer queues do not raise the service rate).
+type FIFO struct{}
+
+// NewFIFO returns the FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name returns "fifo".
+func (*FIFO) Name() string { return "fifo" }
+
+// Reschedule serves the oldest pending request. If the block has a copy on
+// the mounted tape, that copy is used (the switch is then free); otherwise
+// the first available copy's tape is loaded. With every copy on busy tapes
+// (multi-drive operation) it reports failure and the drive waits.
+func (*FIFO) Reschedule(st *State) (int, *Sweep, bool) {
+	if len(st.Pending) == 0 {
+		return 0, nil, false
+	}
+	r := st.Pending[0]
+	target, found := layoutTarget(st, r)
+	if !found {
+		return 0, nil, false
+	}
+	r.Target = target
+	st.RemovePending([]*Request{r})
+	return target.Tape, NewSweep([]*Request{r}, st.StartHead(target.Tape)), true
+}
+
+// OnArrival always defers: FIFO never reorders.
+func (*FIFO) OnArrival(*State, *Request) bool { return false }
+
+// layoutTarget picks the copy FIFO should read: the mounted tape's copy
+// when one exists, otherwise the first copy on an available tape.
+func layoutTarget(st *State, r *Request) (layout.Replica, bool) {
+	if st.Mounted >= 0 && st.Available(st.Mounted) {
+		if c, ok := st.Layout.ReplicaOn(r.Block, st.Mounted); ok {
+			return c, true
+		}
+	}
+	for _, c := range st.Layout.Replicas(r.Block) {
+		if st.Available(c.Tape) {
+			return c, true
+		}
+	}
+	return layout.Replica{}, false
+}

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"testing"
+
+	"tapejuke/internal/layout"
+)
+
+// FuzzSweepInsert drives the sweep with adversarial build/insert/pop
+// interleavings and checks the single-pass invariants: forward ascending,
+// reverse descending, nothing lost or duplicated, accepted insertions only
+// ahead of the head.
+func FuzzSweepInsert(f *testing.F) {
+	f.Add([]byte{10, 20, 30}, []byte{5, 25, 35}, uint8(15))
+	f.Add([]byte{}, []byte{1}, uint8(0))
+	f.Add([]byte{200, 100, 150}, []byte{120, 180, 90}, uint8(160))
+	f.Fuzz(func(t *testing.T, build []byte, insert []byte, headRaw uint8) {
+		if len(build) > 64 {
+			build = build[:64]
+		}
+		if len(insert) > 64 {
+			insert = insert[:64]
+		}
+		head := int(headRaw)
+		var reqs []*Request
+		for i, p := range build {
+			reqs = append(reqs, &Request{ID: int64(i), Target: layout.Replica{Pos: int(p)}})
+		}
+		s := NewSweep(reqs, head)
+		total := len(build)
+
+		// Interleave pops and inserts.
+		for i, p := range insert {
+			if i%2 == 0 {
+				if r := s.Pop(); r != nil {
+					total--
+					head = r.Target.Pos + 1
+				}
+			}
+			r := &Request{ID: int64(1000 + i), Target: layout.Replica{Pos: int(p)}}
+			if s.Insert(r, head) {
+				total++
+			}
+		}
+		if s.Len() != total {
+			t.Fatalf("sweep length %d, bookkept %d", s.Len(), total)
+		}
+		for i := 1; i < len(s.Forward); i++ {
+			if s.Forward[i].Target.Pos < s.Forward[i-1].Target.Pos {
+				t.Fatal("forward phase out of order")
+			}
+		}
+		for i := 1; i < len(s.Reverse); i++ {
+			if s.Reverse[i].Target.Pos > s.Reverse[i-1].Target.Pos {
+				t.Fatal("reverse phase out of order")
+			}
+		}
+		// Draining pops everything exactly once.
+		seen := make(map[int64]bool)
+		for {
+			r := s.Pop()
+			if r == nil {
+				break
+			}
+			if seen[r.ID] {
+				t.Fatalf("request %d popped twice", r.ID)
+			}
+			seen[r.ID] = true
+		}
+		if len(seen) != total {
+			t.Fatalf("drained %d, expected %d", len(seen), total)
+		}
+	})
+}
+
+// FuzzCostModel checks that schedule costs stay finite and non-negative
+// over arbitrary position sequences.
+func FuzzCostModel(f *testing.F) {
+	f.Add([]byte{0, 5, 3, 10}, uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, headRaw uint8) {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		c := testCosts()
+		positions := make([]int, len(raw))
+		for i, b := range raw {
+			positions[i] = int(b)
+		}
+		sec, final := c.ExecTime(int(headRaw), positions)
+		if sec < 0 || sec != sec { // NaN check
+			t.Fatalf("ExecTime = %v", sec)
+		}
+		if len(positions) > 0 && final != positions[len(positions)-1]+1 {
+			t.Fatalf("final head %d after %v", final, positions)
+		}
+		bw := c.EffectiveBandwidth(0, int(headRaw), 1, 0, positions)
+		if bw < 0 || bw != bw {
+			t.Fatalf("bandwidth = %v", bw)
+		}
+		if bw > c.Prof.StreamingRateMBps()+1e-9 {
+			t.Fatalf("bandwidth %v exceeds streaming rate", bw)
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package sched
+
+import "sort"
+
+// Policy is a tape-selection rule used by the static and dynamic algorithms
+// (Section 3.1) and by the envelope-extension algorithm's final tape choice
+// (Section 3.2).
+type Policy int
+
+const (
+	// RoundRobin selects the next tape in jukebox order after the mounted
+	// tape that has a pending request.
+	RoundRobin Policy = iota
+	// MaxRequests selects a tape with the maximal number of satisfiable
+	// pending requests, ties broken by jukebox order from the mounted tape.
+	MaxRequests
+	// MaxBandwidth selects the tape whose candidate schedule has the
+	// highest effective bandwidth (bytes retrieved / (switch + execution
+	// time)), ties broken by jukebox order.
+	MaxBandwidth
+	// OldestMaxRequests restricts the choice to tapes that can satisfy the
+	// oldest pending request, then applies MaxRequests.
+	OldestMaxRequests
+	// OldestMaxBandwidth restricts the choice to tapes that can satisfy the
+	// oldest pending request, then applies MaxBandwidth.
+	OldestMaxBandwidth
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case MaxRequests:
+		return "max-requests"
+	case MaxBandwidth:
+		return "max-bandwidth"
+	case OldestMaxRequests:
+		return "oldest-max-requests"
+	case OldestMaxBandwidth:
+		return "oldest-max-bandwidth"
+	}
+	return "unknown"
+}
+
+// SelectTape applies the policy to the current pending list and returns the
+// chosen tape. ok is false when the pending list is empty.
+func SelectTape(st *State, p Policy) (tape int, ok bool) {
+	if len(st.Pending) == 0 {
+		return 0, false
+	}
+	switch p {
+	case RoundRobin:
+		return selectRoundRobin(st)
+	case MaxRequests:
+		return selectByCount(st, allTapes(st))
+	case MaxBandwidth:
+		return selectByBandwidth(st, allTapes(st))
+	case OldestMaxRequests:
+		return selectByCount(st, oldestTapes(st))
+	case OldestMaxBandwidth:
+		return selectByBandwidth(st, oldestTapes(st))
+	}
+	return 0, false
+}
+
+func allTapes(st *State) []int {
+	out := make([]int, st.Layout.Tapes())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// oldestTapes lists the tapes holding a copy of the oldest pending request.
+func oldestTapes(st *State) []int {
+	var out []int
+	for _, c := range st.Layout.Replicas(st.Pending[0].Block) {
+		out = append(out, c.Tape)
+	}
+	return out
+}
+
+func selectRoundRobin(st *State) (int, bool) {
+	counts := st.CountByTape()
+	n := st.Layout.Tapes()
+	start := 0
+	if st.Mounted >= 0 {
+		start = st.Mounted + 1 // "after the currently mounted tape"
+	}
+	for i := 0; i < n; i++ {
+		t := (start + i) % n
+		if counts[t] > 0 && st.Available(t) {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// selectByCount picks the candidate tape with the most satisfiable pending
+// requests; ties go to the first tape in jukebox order starting at the
+// mounted tape.
+func selectByCount(st *State, candidates []int) (int, bool) {
+	counts := st.CountByTape()
+	best, bestCount := -1, 0
+	inCand := make(map[int]bool, len(candidates))
+	for _, t := range candidates {
+		inCand[t] = true
+	}
+	st.JukeboxOrder(func(t int) bool {
+		if inCand[t] && st.Available(t) && counts[t] > bestCount {
+			best, bestCount = t, counts[t]
+		}
+		return true
+	})
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// selectByBandwidth picks the candidate tape whose full candidate schedule
+// yields the highest effective bandwidth; ties go to jukebox order.
+func selectByBandwidth(st *State, candidates []int) (int, bool) {
+	inCand := make(map[int]bool, len(candidates))
+	for _, t := range candidates {
+		inCand[t] = true
+	}
+	best, bestBW := -1, -1.0
+	st.JukeboxOrder(func(t int) bool {
+		if !inCand[t] || !st.Available(t) {
+			return true
+		}
+		positions := candidatePositions(st, t)
+		if len(positions) == 0 {
+			return true
+		}
+		startHead := st.StartHead(t)
+		order := sweepOrder(positions, startHead)
+		bw := st.Costs.EffectiveBandwidth(st.Mounted, st.Head, t, startHead, order)
+		if bw > bestBW {
+			best, bestBW = t, bw
+		}
+		return true
+	})
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// candidatePositions lists the replica positions on `tape` of the pending
+// requests that tape can satisfy.
+func candidatePositions(st *State, tape int) []int {
+	var out []int
+	for _, r := range st.Pending {
+		if c, ok := st.Layout.ReplicaOn(r.Block, tape); ok {
+			out = append(out, c.Pos)
+		}
+	}
+	return out
+}
+
+// sweepOrder arranges positions into single-sweep execution order from the
+// given head: ascending positions >= head, then descending positions < head.
+func sweepOrder(positions []int, head int) []int {
+	fwd := make([]int, 0, len(positions))
+	var rev []int
+	for _, p := range positions {
+		if p >= head {
+			fwd = append(fwd, p)
+		} else {
+			rev = append(rev, p)
+		}
+	}
+	sort.Ints(fwd)
+	sort.Sort(sort.Reverse(sort.IntSlice(rev)))
+	return append(fwd, rev...)
+}

@@ -1,0 +1,21 @@
+// Package sched provides the retrieval-scheduling framework of Section 3:
+// the request and service-list (sweep) abstractions, schedule cost
+// evaluation, and the simple scheduling algorithms (FIFO, five static and
+// five dynamic tape-selection policies). The envelope-extension algorithm of
+// Section 3.2 builds on this package and lives in internal/core.
+package sched
+
+import (
+	"tapejuke/internal/layout"
+)
+
+// Request is one outstanding block retrieval.
+type Request struct {
+	ID      int64          // unique, in arrival order
+	Block   layout.BlockID // requested logical block
+	Arrival float64        // simulation time at which the request arrived
+
+	// Target is the physical copy chosen to satisfy the request; it is set
+	// by a scheduler when the request enters a service list.
+	Target layout.Replica
+}

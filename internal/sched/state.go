@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"tapejuke/internal/layout"
+)
+
+// State is the scheduling view of one drive: the mounted tape and head
+// position, the pending list of unscheduled requests (in arrival order), and
+// the in-flight sweep. The simulation engine owns and mutates it; schedulers
+// read it and carve requests out of the pending list.
+type State struct {
+	Layout *layout.Layout
+	Costs  *CostModel
+
+	Mounted int // mounted tape index, or -1 for an empty drive
+	Head    int // head position (block boundary) on the mounted tape
+
+	Pending []*Request // unscheduled requests in arrival order
+	Active  *Sweep     // the sweep currently executing, nil when idle
+
+	// Busy marks tapes unavailable to the major rescheduler (mounted in
+	// other drives of a multi-drive jukebox, the paper's stated future
+	// work). nil means every tape is available.
+	Busy []bool
+
+	Clock float64 // current simulation time (seconds)
+}
+
+// Available reports whether the major rescheduler may select the tape.
+func (st *State) Available(tape int) bool {
+	return st.Busy == nil || !st.Busy[tape]
+}
+
+// Scheduler is a scheduling algorithm: a major rescheduler invoked at tape
+// switch time plus an incremental scheduler for requests that arrive during
+// the execution of a service list (Section 2.2).
+type Scheduler interface {
+	// Name identifies the algorithm (e.g. "dynamic-max-bandwidth").
+	Name() string
+
+	// Reschedule selects the tape to service next, extracts the requests it
+	// will serve from st.Pending (setting their Targets), and returns the
+	// tape and the service list. ok is false when nothing can be scheduled
+	// (empty pending list). Reschedule must not mutate st.Mounted/st.Head;
+	// the engine performs the switch.
+	Reschedule(st *State) (tape int, sweep *Sweep, ok bool)
+
+	// OnArrival offers a newly arrived request to the incremental
+	// scheduler while a sweep is executing. It returns true if the request
+	// was inserted into st.Active; on false the engine appends the request
+	// to st.Pending.
+	OnArrival(st *State, r *Request) bool
+}
+
+// RemovePending deletes the given requests (matched by pointer identity)
+// from the pending list, preserving arrival order of the remainder.
+func (st *State) RemovePending(taken []*Request) {
+	if len(taken) == 0 {
+		return
+	}
+	set := make(map[*Request]bool, len(taken))
+	for _, r := range taken {
+		set[r] = true
+	}
+	kept := st.Pending[:0]
+	for _, r := range st.Pending {
+		if !set[r] {
+			kept = append(kept, r)
+		}
+	}
+	// Zero the tail so dropped requests do not linger in the backing array.
+	for i := len(kept); i < len(st.Pending); i++ {
+		st.Pending[i] = nil
+	}
+	st.Pending = kept
+}
+
+// SatisfiableBy returns the pending requests that have a replica on the
+// given tape, in arrival order.
+func (st *State) SatisfiableBy(tape int) []*Request {
+	var out []*Request
+	for _, r := range st.Pending {
+		if _, ok := st.Layout.ReplicaOn(r.Block, tape); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CountByTape returns, for each tape, the number of pending requests that
+// tape could satisfy. A replicated request is counted on each tape holding
+// a copy.
+func (st *State) CountByTape() []int {
+	counts := make([]int, st.Layout.Tapes())
+	for _, r := range st.Pending {
+		for _, c := range st.Layout.Replicas(r.Block) {
+			counts[c.Tape]++
+		}
+	}
+	return counts
+}
+
+// JukeboxOrder iterates tape indices in jukebox order starting at the
+// mounted tape (or tape 0 for an empty drive): mounted, mounted+1, ...,
+// wrapping around. It calls f for each tape until f returns false.
+func (st *State) JukeboxOrder(f func(tape int) bool) {
+	t0 := st.Mounted
+	if t0 < 0 {
+		t0 = 0
+	}
+	n := st.Layout.Tapes()
+	for i := 0; i < n; i++ {
+		if !f((t0 + i) % n) {
+			return
+		}
+	}
+}
+
+// StartHead returns the head position a schedule on `tape` would execute
+// from: the current head when the tape is already mounted, 0 after a switch.
+func (st *State) StartHead(tape int) int {
+	if tape == st.Mounted {
+		return st.Head
+	}
+	return 0
+}

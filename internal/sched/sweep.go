@@ -1,0 +1,152 @@
+package sched
+
+import "sort"
+
+// Sweep is a service list that executes in a single pass over the tape: a
+// forward phase (ascending positions, forward locates only) followed by a
+// reverse phase (descending positions, reverse locates only). Section 2.2.
+//
+// FIFO schedules are represented as degenerate sweeps holding one request.
+type Sweep struct {
+	Forward []*Request // ascending Target.Pos
+	Reverse []*Request // descending Target.Pos
+}
+
+// NewSweep builds a sweep over the given requests (whose Targets must
+// already be set and lie on one tape), starting from head position `head`:
+// requests at or above the head form the forward phase in ascending order;
+// requests below the head form the reverse phase in descending order. Ties
+// on position preserve arrival order.
+func NewSweep(reqs []*Request, head int) *Sweep {
+	s := &Sweep{}
+	for _, r := range reqs {
+		if r.Target.Pos >= head {
+			s.Forward = append(s.Forward, r)
+		} else {
+			s.Reverse = append(s.Reverse, r)
+		}
+	}
+	sort.SliceStable(s.Forward, func(i, j int) bool {
+		return s.Forward[i].Target.Pos < s.Forward[j].Target.Pos
+	})
+	sort.SliceStable(s.Reverse, func(i, j int) bool {
+		return s.Reverse[i].Target.Pos > s.Reverse[j].Target.Pos
+	})
+	return s
+}
+
+// Len returns the number of requests remaining in the sweep.
+func (s *Sweep) Len() int { return len(s.Forward) + len(s.Reverse) }
+
+// Empty reports whether the sweep has been fully executed.
+func (s *Sweep) Empty() bool { return s.Len() == 0 }
+
+// Peek returns the next request to execute without removing it, or nil.
+func (s *Sweep) Peek() *Request {
+	if len(s.Forward) > 0 {
+		return s.Forward[0]
+	}
+	if len(s.Reverse) > 0 {
+		return s.Reverse[0]
+	}
+	return nil
+}
+
+// Pop removes and returns the next request to execute, or nil.
+func (s *Sweep) Pop() *Request {
+	if len(s.Forward) > 0 {
+		r := s.Forward[0]
+		s.Forward = s.Forward[1:]
+		return r
+	}
+	if len(s.Reverse) > 0 {
+		r := s.Reverse[0]
+		s.Reverse = s.Reverse[1:]
+		return r
+	}
+	return nil
+}
+
+// Positions returns the remaining execution order as a position list
+// (forward phase then reverse phase). Used for cost evaluation.
+func (s *Sweep) Positions() []int {
+	out := make([]int, 0, s.Len())
+	for _, r := range s.Forward {
+		out = append(out, r.Target.Pos)
+	}
+	for _, r := range s.Reverse {
+		out = append(out, r.Target.Pos)
+	}
+	return out
+}
+
+// Requests returns the remaining requests in execution order.
+func (s *Sweep) Requests() []*Request {
+	out := make([]*Request, 0, s.Len())
+	out = append(out, s.Forward...)
+	out = append(out, s.Reverse...)
+	return out
+}
+
+// Insert adds r (whose Target must be on the mounted tape) to the in-flight
+// sweep if its position is still ahead of the head in the existing schedule,
+// per the dynamic incremental scheduler of Section 3.1. It returns false if
+// the position has already been passed, in which case the caller defers the
+// request to the pending list.
+//
+//   - While the forward phase is active (head moving up), positions at or
+//     above the head join the forward phase; positions below the head join
+//     the not-yet-started reverse phase.
+//   - Once the reverse phase has begun (head moving down), only positions at
+//     or below the head can still be served in this sweep.
+func (s *Sweep) Insert(r *Request, head int) bool {
+	if s.Empty() {
+		return false
+	}
+	if len(s.Forward) > 0 {
+		if r.Target.Pos >= head {
+			s.insertForward(r)
+		} else {
+			s.insertReverse(r)
+		}
+		return true
+	}
+	// Reverse phase in progress.
+	if r.Target.Pos <= head {
+		s.insertReverse(r)
+		return true
+	}
+	return false
+}
+
+func (s *Sweep) insertForward(r *Request) {
+	i := sort.Search(len(s.Forward), func(i int) bool {
+		return s.Forward[i].Target.Pos > r.Target.Pos
+	})
+	s.Forward = append(s.Forward, nil)
+	copy(s.Forward[i+1:], s.Forward[i:])
+	s.Forward[i] = r
+}
+
+func (s *Sweep) insertReverse(r *Request) {
+	i := sort.Search(len(s.Reverse), func(i int) bool {
+		return s.Reverse[i].Target.Pos < r.Target.Pos
+	})
+	s.Reverse = append(s.Reverse, nil)
+	copy(s.Reverse[i+1:], s.Reverse[i:])
+	s.Reverse[i] = r
+}
+
+// MaxPos returns the highest position remaining in the sweep, or -1 when the
+// sweep is empty. The envelope incremental scheduler uses it to detect
+// whether an insertion extends the traversed prefix.
+func (s *Sweep) MaxPos() int {
+	max := -1
+	if n := len(s.Forward); n > 0 {
+		max = s.Forward[n-1].Target.Pos
+	}
+	if len(s.Reverse) > 0 && s.Reverse[0].Target.Pos > max {
+		max = s.Reverse[0].Target.Pos
+	}
+	return max
+}

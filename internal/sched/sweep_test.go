@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tapejuke/internal/layout"
+)
+
+func req(id int64, pos int) *Request {
+	return &Request{ID: id, Target: layout.Replica{Tape: 0, Pos: pos}}
+}
+
+func popOrder(s *Sweep) []int {
+	var out []int
+	for !s.Empty() {
+		out = append(out, s.Pop().Target.Pos)
+	}
+	return out
+}
+
+func TestSweepOrdering(t *testing.T) {
+	// Head at 10: 12, 30 forward ascending; 7, 3 reverse descending.
+	s := NewSweep([]*Request{req(1, 30), req(2, 7), req(3, 12), req(4, 3)}, 10)
+	want := []int{12, 30, 7, 3}
+	got := popOrder(s)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSweepHeadZeroAllForward(t *testing.T) {
+	s := NewSweep([]*Request{req(1, 5), req(2, 2), req(3, 9)}, 0)
+	if len(s.Reverse) != 0 {
+		t.Fatal("head 0 should produce a purely forward sweep")
+	}
+	got := popOrder(s)
+	if got[0] != 2 || got[1] != 5 || got[2] != 9 {
+		t.Fatalf("forward order = %v", got)
+	}
+}
+
+func TestSweepTiesPreserveArrival(t *testing.T) {
+	a, b := req(1, 5), req(2, 5)
+	s := NewSweep([]*Request{a, b}, 0)
+	if s.Pop() != a || s.Pop() != b {
+		t.Error("equal positions should pop in arrival order")
+	}
+}
+
+func TestSweepInsertForwardPhase(t *testing.T) {
+	s := NewSweep([]*Request{req(1, 10), req(2, 20)}, 0)
+	// Ahead of head in forward phase: accepted into forward order.
+	if !s.Insert(req(3, 15), 5) {
+		t.Fatal("insert ahead of head rejected")
+	}
+	// Behind the head during forward phase: joins the reverse phase.
+	if !s.Insert(req(4, 2), 5) {
+		t.Fatal("insert behind head rejected during forward phase")
+	}
+	got := popOrder(s)
+	want := []int{10, 15, 20, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSweepInsertReversePhase(t *testing.T) {
+	s := &Sweep{}
+	s.Reverse = []*Request{req(1, 30), req(2, 10)}
+	// Head descending at 40: position 20 is still ahead (below).
+	if !s.Insert(req(3, 20), 40) {
+		t.Fatal("reverse-phase insert below head rejected")
+	}
+	// Position 50 is above a descending head: passed, must be rejected.
+	if s.Insert(req(4, 50), 40) {
+		t.Fatal("reverse-phase insert above head accepted")
+	}
+	got := popOrder(s)
+	want := []int{30, 20, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSweepInsertEmptyRejected(t *testing.T) {
+	s := &Sweep{}
+	if s.Insert(req(1, 5), 0) {
+		t.Error("insert into empty sweep should be rejected (no sweep to join)")
+	}
+}
+
+func TestSweepPeekAndMaxPos(t *testing.T) {
+	s := NewSweep([]*Request{req(1, 10), req(2, 4)}, 8)
+	if s.Peek().Target.Pos != 10 {
+		t.Errorf("Peek = %d, want 10", s.Peek().Target.Pos)
+	}
+	if s.MaxPos() != 10 {
+		t.Errorf("MaxPos = %d, want 10", s.MaxPos())
+	}
+	s.Pop()
+	if s.MaxPos() != 4 {
+		t.Errorf("MaxPos after pop = %d, want 4", s.MaxPos())
+	}
+	s.Pop()
+	if s.MaxPos() != -1 || s.Peek() != nil || s.Pop() != nil {
+		t.Error("empty sweep should report MaxPos -1 and nil Peek/Pop")
+	}
+}
+
+// Property: a sweep built from random requests pops every request exactly
+// once, in an order that is one forward (ascending) run followed by one
+// reverse (descending) run.
+func TestSweepSinglePassProperty(t *testing.T) {
+	f := func(seed int64, n uint8, headRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n)%40 + 1
+		head := int(headRaw) % 100
+		reqs := make([]*Request, count)
+		for i := range reqs {
+			reqs[i] = req(int64(i), rng.Intn(100))
+		}
+		s := NewSweep(reqs, head)
+		if s.Len() != count {
+			return false
+		}
+		order := popOrder(s)
+		if len(order) != count {
+			return false
+		}
+		// Split at the first descent below head; forward run ascending and
+		// >= head, reverse run descending and < head.
+		i := 0
+		for i < len(order) && order[i] >= head {
+			if i > 0 && order[i] < order[i-1] && order[i-1] >= head {
+				// still forward region; ascending required
+				return false
+			}
+			i++
+		}
+		for j := i + 1; j < len(order); j++ {
+			if order[j] > order[j-1] || order[j] >= head {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dynamic insertion never duplicates or loses requests and keeps
+// phase ordering intact.
+func TestSweepInsertProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		head := rng.Intn(50)
+		var reqs []*Request
+		for i := 0; i < 10; i++ {
+			reqs = append(reqs, req(int64(i), rng.Intn(100)))
+		}
+		s := NewSweep(reqs, head)
+		inserted := 0
+		for i := 0; i < 10; i++ {
+			if s.Insert(req(int64(100+i), rng.Intn(100)), head) {
+				inserted++
+			}
+		}
+		total := s.Len()
+		if total != 10+inserted {
+			return false
+		}
+		// Forward ascending, reverse descending.
+		for i := 1; i < len(s.Forward); i++ {
+			if s.Forward[i].Target.Pos < s.Forward[i-1].Target.Pos {
+				return false
+			}
+		}
+		for i := 1; i < len(s.Reverse); i++ {
+			if s.Reverse[i].Target.Pos > s.Reverse[i-1].Target.Pos {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package sim is the event-driven jukebox simulator implementing the
+// service model of Section 2.2: a loop of major reschedules, tape switches,
+// and sweep executions, with the incremental scheduler handling requests
+// that arrive mid-sweep. It supports the paper's closed-queuing (constant
+// queue length) and open-queuing (Poisson arrivals) request generation
+// scenarios and reports the throughput/latency metrics the figures plot.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"tapejuke/internal/layout"
+	"tapejuke/internal/sched"
+	"tapejuke/internal/tapemodel"
+)
+
+// Config fully describes one simulation run.
+type Config struct {
+	// Profile is the drive timing model; nil selects the EXB-8505XL.
+	Profile tapemodel.Positioner
+	// BlockMB is the I/O transfer size in megabytes (the paper settles on
+	// 16 MB; Figure 3 sweeps it).
+	BlockMB float64
+	// TapeCapMB is the capacity of one tape in megabytes (7 GB = 7168 MB in
+	// the paper). The per-tape block count is TapeCapMB/BlockMB, truncated.
+	TapeCapMB float64
+	// Tapes is the number of tapes in the jukebox (10 in the paper).
+	Tapes int
+
+	// HotPercent (PH), Replicas (NR), Kind and StartPos (SP) configure the
+	// data layout; see package layout.
+	HotPercent float64
+	Replicas   int
+	Kind       layout.Kind
+	StartPos   float64
+	// DataBlocks, when positive, stores that many logical blocks instead
+	// of filling the jukebox to capacity (partial fill, Section 4.8's
+	// gradual-fill scenario).
+	DataBlocks int
+	// PackAfterData appends the hot/replica region right after each tape's
+	// data instead of at the StartPos position (see layout.Config).
+	PackAfterData bool
+
+	// ReadHotPercent (RH) is the percent of requests directed to hot data.
+	ReadHotPercent float64
+	// SequentialProb, when positive, enables the clustered-access
+	// extension: each request continues the previous block's sequential
+	// run with this probability instead of drawing independently. The
+	// paper's workloads are independent (zero).
+	SequentialProb float64
+	// ZipfS, when positive (must exceed 1), replaces the two-class
+	// hot/cold skew with Zipf-distributed popularity over block ranks
+	// (extension); ReadHotPercent and SequentialProb are then ignored.
+	ZipfS float64
+
+	// QueueLength > 0 selects the closed-queuing model with that many
+	// I/O-bound processes. MeanInterarrival > 0 selects the open-queuing
+	// model with Poisson arrivals. Exactly one must be set.
+	QueueLength      int
+	MeanInterarrival float64
+
+	// Scheduler services the requests. The instance may be stateful and
+	// must be fresh for each run.
+	Scheduler sched.Scheduler
+
+	// Drives is the number of drives sharing the jukebox's tapes (default
+	// 1, the paper's configuration; >1 enables the multi-drive extension).
+	// Multi-drive runs need SchedulerFactory because every drive gets its
+	// own stateful scheduler instance.
+	Drives           int
+	SchedulerFactory func() sched.Scheduler
+
+	// Horizon is the simulated duration in seconds (the paper models 10
+	// million seconds per run).
+	Horizon float64
+	// WarmupFrac is the fraction of the horizon excluded from metrics
+	// (default 0.05 when zero).
+	WarmupFrac float64
+	// MaxCompletions, when positive, stops the run early after that many
+	// post-warmup completions; benchmarks use it to bound work.
+	MaxCompletions int64
+
+	// Seed makes runs deterministic.
+	Seed int64
+
+	// Observer, when non-nil, receives every simulator event (tape
+	// switches, reads, completions, idle periods, write flushes) inline.
+	Observer Observer
+
+	// Write-model extension (single-drive only): the paper assumes writes
+	// go to disk-resident delta files and reach tape "during idle time or
+	// piggybacked on the read schedule". WriteMeanInterarrival > 0 enables
+	// a Poisson stream of delta-block writes; WriteReserveMB of each tape
+	// (default 256 when writes are enabled) is carved off the end as a
+	// circular delta log; WritePolicy picks when buffers drain; a positive
+	// WriteFlushThreshold force-drains the fullest tape once that many
+	// blocks are buffered.
+	WriteMeanInterarrival float64
+	WritePolicy           WritePolicy
+	WriteReserveMB        float64
+	WriteFlushThreshold   int
+}
+
+// Validate reports the first configuration error, applying no defaults.
+func (c *Config) Validate() error {
+	if c.BlockMB <= 0 {
+		return errors.New("sim: BlockMB must be positive")
+	}
+	if c.TapeCapMB < c.BlockMB {
+		return errors.New("sim: TapeCapMB must hold at least one block")
+	}
+	if c.Tapes < 1 {
+		return errors.New("sim: need at least one tape")
+	}
+	if c.Scheduler == nil {
+		return errors.New("sim: no scheduler")
+	}
+	if c.Drives < 0 || c.Drives > c.Tapes {
+		return fmt.Errorf("sim: %d drives impossible with %d tapes", c.Drives, c.Tapes)
+	}
+	if c.Drives > 1 && c.SchedulerFactory == nil {
+		return errors.New("sim: multi-drive runs need SchedulerFactory")
+	}
+	closed := c.QueueLength > 0
+	open := c.MeanInterarrival > 0
+	if closed == open {
+		return fmt.Errorf("sim: exactly one of QueueLength (%d) and MeanInterarrival (%v) must be positive",
+			c.QueueLength, c.MeanInterarrival)
+	}
+	if c.Horizon <= 0 {
+		return errors.New("sim: Horizon must be positive")
+	}
+	if c.WarmupFrac < 0 || c.WarmupFrac >= 1 {
+		return errors.New("sim: WarmupFrac must be in [0,1)")
+	}
+	if c.SequentialProb < 0 || c.SequentialProb >= 1 {
+		return errors.New("sim: SequentialProb must be in [0,1)")
+	}
+	if c.ZipfS < 0 || (c.ZipfS > 0 && c.ZipfS <= 1) {
+		return errors.New("sim: ZipfS must be zero (disabled) or greater than 1")
+	}
+	if c.WriteMeanInterarrival < 0 {
+		return errors.New("sim: WriteMeanInterarrival must be non-negative")
+	}
+	if c.WriteMeanInterarrival > 0 && c.Drives > 1 {
+		return errors.New("sim: the write extension supports single-drive jukeboxes only")
+	}
+	if c.WriteReserveMB < 0 || (c.WriteReserveMB > 0 && c.WriteReserveMB >= c.TapeCapMB) {
+		return fmt.Errorf("sim: WriteReserveMB %v must leave room for data on a %v MB tape",
+			c.WriteReserveMB, c.TapeCapMB)
+	}
+	return nil
+}
+
+// Result reports the metrics of one run. All "response" figures are
+// request response times (completion minus arrival) in seconds, measured
+// after warm-up.
+type Result struct {
+	SchedulerName string
+
+	SimSeconds      float64 // simulated time actually covered
+	MeasuredSeconds float64 // simulated time after warm-up
+
+	Completed         int64   // post-warmup completions
+	ThroughputKBps    float64 // KB retrieved per second after warm-up
+	RequestsPerMinute float64
+	MeanResponseSec   float64
+	MaxResponseSec    float64
+	P95ResponseSec    float64
+
+	TapeSwitches   int64 // post-warmup tape switches
+	LocateSeconds  float64
+	ReadSeconds    float64
+	SwitchSeconds  float64
+	IdleSeconds    float64
+	MeanQueueLen   float64 // time-averaged outstanding requests
+	TotalArrivals  int64   // including warm-up
+	TotalCompleted int64   // including warm-up
+
+	// ReadsPerTape counts post-warmup block reads served from each tape,
+	// exposing hot-tape concentration and switch economics.
+	ReadsPerTape []int64
+
+	// Write-model extension metrics (zero when writes are disabled).
+	WritesFlushed     int64   // delta blocks written to tape
+	WriteSeconds      float64 // drive time spent flushing deltas
+	MeanWriteDelaySec float64 // buffer residence of flushed deltas (post-warmup)
+	MaxBufferedWrites int     // peak disk-buffer occupancy in blocks
+}
+
+// EffectiveOfStreaming returns throughput as a fraction of the drive's
+// streaming rate, the figure of merit in Section 4.1.
+func (r *Result) EffectiveOfStreaming(p tapemodel.Positioner) float64 {
+	stream := p.StreamingRateMBps() * 1024 // KB/s
+	if stream == 0 {
+		return 0
+	}
+	return r.ThroughputKBps / stream
+}

@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"tapejuke/internal/layout"
+	"tapejuke/internal/sched"
+	"tapejuke/internal/stats"
+	"tapejuke/internal/tapemodel"
+	"tapejuke/internal/workload"
+)
+
+// Run executes one simulation and returns its metrics.
+func Run(cfg Config) (*Result, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Drives > 1 {
+		m := &multiEngine{
+			engine: e,
+			drives: make([]drive, cfg.Drives),
+			busy:   make([]bool, cfg.Tapes),
+		}
+		m.st.Busy = make([]bool, cfg.Tapes)
+		for i := 0; i < cfg.Drives; i++ {
+			m.scheds = append(m.scheds, cfg.SchedulerFactory())
+		}
+		return m.runMulti()
+	}
+	return e.run()
+}
+
+// engine is the state of one in-progress simulation.
+type engine struct {
+	cfg     Config
+	prof    tapemodel.Positioner
+	st      *sched.State
+	schd    sched.Scheduler
+	gen     workload.Source
+	arr     workload.Arrivals
+	nextArr float64 // next undelivered external arrival time (+Inf closed)
+
+	now         float64
+	warmupEnd   float64
+	outstanding int64
+	nextID      int64
+
+	// metrics
+	resp         stats.Accumulator
+	respSample   *stats.Reservoir
+	completed    int64 // post-warmup
+	switches     int64 // post-warmup
+	totalArr     int64
+	totalDone    int64
+	locateSec    float64
+	readSec      float64
+	switchSec    float64
+	idleSec      float64
+	queueAreaSec float64
+
+	readsPerTape []int64
+
+	writes *writeState // write-model extension, nil when disabled
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = tapemodel.EXB8505XL()
+	}
+	if cfg.WarmupFrac == 0 {
+		cfg.WarmupFrac = 0.05
+	}
+	if cfg.WriteMeanInterarrival > 0 && cfg.WriteReserveMB == 0 {
+		cfg.WriteReserveMB = 256
+	}
+	dataCapMB := cfg.TapeCapMB
+	if cfg.WriteMeanInterarrival > 0 {
+		dataCapMB -= cfg.WriteReserveMB
+		if dataCapMB < cfg.BlockMB || cfg.WriteReserveMB < cfg.BlockMB {
+			return nil, fmt.Errorf("sim: write reserve %v MB leaves no room for data or deltas", cfg.WriteReserveMB)
+		}
+	}
+	capBlocks := int(dataCapMB / cfg.BlockMB)
+	lay, err := layout.Build(layout.Config{
+		Tapes:         cfg.Tapes,
+		TapeCapBlocks: capBlocks,
+		HotPercent:    cfg.HotPercent,
+		Replicas:      cfg.Replicas,
+		Kind:          cfg.Kind,
+		StartPos:      cfg.StartPos,
+		DataBlocks:    cfg.DataBlocks,
+		PackAfterData: cfg.PackAfterData,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	var gen workload.Source
+	if cfg.ZipfS > 0 {
+		zg, err := workload.NewZipfGenerator(lay, cfg.ZipfS, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		gen = zg
+	} else {
+		hg, err := workload.NewGenerator(lay, cfg.ReadHotPercent, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		if err := hg.SetSequentialProb(cfg.SequentialProb); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		gen = hg
+	}
+	var arr workload.Arrivals
+	if cfg.QueueLength > 0 {
+		arr = workload.ClosedArrivals{QueueLength: cfg.QueueLength}
+	} else {
+		arr, err = workload.NewPoissonArrivals(cfg.MeanInterarrival, cfg.Seed+1)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	e := &engine{
+		cfg:          cfg,
+		prof:         cfg.Profile,
+		schd:         cfg.Scheduler,
+		gen:          gen,
+		arr:          arr,
+		warmupEnd:    cfg.Horizon * cfg.WarmupFrac,
+		respSample:   stats.NewReservoir(4096),
+		readsPerTape: make([]int64, cfg.Tapes),
+		st: &sched.State{
+			Layout:  lay,
+			Costs:   &sched.CostModel{Prof: cfg.Profile, BlockMB: cfg.BlockMB},
+			Mounted: -1,
+		},
+	}
+	if err := e.initWrites(capBlocks); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	// Seed the system: closed models start with the full queue present;
+	// open models schedule their first Poisson arrival.
+	for i := 0; i < arr.InitialCount(); i++ {
+		e.st.Pending = append(e.st.Pending, e.newRequest(0))
+	}
+	e.nextArr = arr.Next()
+	return e, nil
+}
+
+// newRequest mints a request for a randomly drawn block.
+func (e *engine) newRequest(at float64) *sched.Request {
+	e.nextID++
+	e.totalArr++
+	e.outstanding++
+	return &sched.Request{ID: e.nextID, Block: e.gen.Next(), Arrival: at}
+}
+
+// advance moves the clock by dt, charging the time to *bucket and
+// accumulating the queue-length integral.
+func (e *engine) advance(dt float64, bucket *float64) {
+	e.queueAreaSec += float64(e.outstanding) * dt
+	e.now += dt
+	*bucket += dt
+}
+
+// pumpArrivals delivers every external arrival due by now: first to the
+// incremental scheduler, else to the pending list.
+func (e *engine) pumpArrivals() {
+	for e.nextArr <= e.now {
+		r := e.newRequest(e.nextArr)
+		e.deliver(r)
+		e.nextArr = e.arr.Next()
+	}
+	e.pumpWrites()
+}
+
+// deliver routes one new request through the incremental scheduler.
+func (e *engine) deliver(r *sched.Request) {
+	if e.st.Active != nil && e.schd.OnArrival(e.st, r) {
+		return
+	}
+	e.st.Pending = append(e.st.Pending, r)
+}
+
+// complete records the completion of request r at the current time and, in
+// the closed model, spawns its replacement.
+func (e *engine) complete(r *sched.Request) {
+	e.totalDone++
+	e.outstanding--
+	if e.now > e.warmupEnd {
+		e.completed++
+		rt := e.now - r.Arrival
+		e.resp.Add(rt)
+		e.respSample.Add(rt, e.gen.Rand().Int63n)
+	}
+	e.emit(Event{Kind: EventComplete, Time: e.now, Tape: r.Target.Tape,
+		Pos: r.Target.Pos, Request: r.ID})
+	if e.arr.Closed() {
+		e.deliver(e.newRequest(e.now))
+	}
+}
+
+func (e *engine) run() (*Result, error) {
+	for e.now < e.cfg.Horizon {
+		e.pumpArrivals()
+		if len(e.st.Pending) == 0 {
+			// The write extension uses idle periods to drain delta buffers.
+			if e.idleFlush() {
+				continue
+			}
+			// Idle: wait for the next arrival (step 4 of the service model).
+			if math.IsInf(e.nextArr, 1) {
+				break // closed model with zero queue cannot occur; done
+			}
+			var dt float64
+			if e.nextArr >= e.cfg.Horizon {
+				dt = e.cfg.Horizon - e.now
+			} else {
+				dt = e.nextArr - e.now
+			}
+			if e.writes != nil && e.writes.next < e.now+dt {
+				dt = e.writes.next - e.now // wake early for a buffered write
+			}
+			e.advance(dt, &e.idleSec)
+			e.emit(Event{Kind: EventIdle, Time: e.now, Tape: -1, Pos: -1, Seconds: dt})
+			if e.now >= e.cfg.Horizon {
+				break
+			}
+			continue
+		}
+
+		tape, sweep, ok := e.schd.Reschedule(e.st)
+		if !ok {
+			return nil, fmt.Errorf("sim: scheduler %s failed to schedule %d pending requests",
+				e.schd.Name(), len(e.st.Pending))
+		}
+		if tape != e.st.Mounted {
+			sw := e.st.Costs.SwitchCost(e.st.Mounted, e.st.Head, tape)
+			e.advance(sw, &e.switchSec)
+			e.st.Mounted, e.st.Head = tape, 0
+			if e.now > e.warmupEnd {
+				e.switches++
+			}
+			e.emit(Event{Kind: EventSwitch, Time: e.now, Tape: tape, Pos: -1, Seconds: sw})
+		}
+		e.st.Active = sweep
+		// Arrivals that landed during the switch meet the incremental
+		// scheduler now.
+		e.pumpArrivals()
+
+		for !sweep.Empty() && e.now < e.cfg.Horizon {
+			r := sweep.Pop()
+			loc, rd, newHead := e.st.Costs.ServeOneParts(e.st.Head, r.Target.Pos)
+			e.advance(loc, &e.locateSec)
+			e.advance(rd, &e.readSec)
+			e.st.Head = newHead
+			if e.now > e.warmupEnd {
+				e.readsPerTape[r.Target.Tape]++
+			}
+			e.emit(Event{Kind: EventRead, Time: e.now, Tape: r.Target.Tape,
+				Pos: r.Target.Pos, Seconds: loc + rd, Request: r.ID})
+			e.complete(r)
+			e.pumpArrivals()
+			if e.cfg.MaxCompletions > 0 && e.completed >= e.cfg.MaxCompletions {
+				e.st.Active = nil
+				return e.result(), nil
+			}
+		}
+		e.st.Active = nil
+		if e.now < e.cfg.Horizon {
+			e.piggybackFlush()
+		}
+		// The head stays where the last retrieval left it until the next
+		// major reschedule decides on a rewind and switch.
+	}
+	return e.result(), nil
+}
+
+func (e *engine) result() *Result {
+	measured := e.now - e.warmupEnd
+	if measured < 0 {
+		measured = 0
+	}
+	res := &Result{
+		SchedulerName:   e.schd.Name(),
+		SimSeconds:      e.now,
+		MeasuredSeconds: measured,
+		Completed:       e.completed,
+		TapeSwitches:    e.switches,
+		LocateSeconds:   e.locateSec,
+		ReadSeconds:     e.readSec,
+		SwitchSeconds:   e.switchSec,
+		IdleSeconds:     e.idleSec,
+		TotalArrivals:   e.totalArr,
+		TotalCompleted:  e.totalDone,
+		MeanResponseSec: e.resp.Mean(),
+		MaxResponseSec:  e.resp.Max(),
+		P95ResponseSec:  e.respSample.Percentile(0.95),
+		ReadsPerTape:    append([]int64(nil), e.readsPerTape...),
+	}
+	if measured > 0 {
+		res.ThroughputKBps = float64(e.completed) * e.cfg.BlockMB * 1024 / measured
+		res.RequestsPerMinute = float64(e.completed) * 60 / measured
+	}
+	if e.now > 0 {
+		res.MeanQueueLen = e.queueAreaSec / e.now
+	}
+	if w := e.writes; w != nil {
+		res.WritesFlushed = w.flushed
+		res.WriteSeconds = w.flushSec
+		res.MeanWriteDelaySec = w.delay.Mean()
+		res.MaxBufferedWrites = w.maxBuffer
+	}
+	return res
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"tapejuke/internal/sched"
+)
+
+// drive is one tape drive of a multi-drive jukebox: its mounted tape, head
+// position, in-flight sweep, and the request currently being read.
+type drive struct {
+	mounted  int
+	head     int
+	active   *sched.Sweep
+	inFlight *sched.Request // request whose read completes at freeAt
+	opSec    float64        // duration of the in-flight operation
+	switched int            // tape of an in-flight switch, -1 otherwise
+	freeAt   float64        // time the drive next needs attention
+}
+
+// multiEngine simulates a jukebox whose tapes are shared by several
+// independently scheduled drives -- the extension the paper leaves as
+// future work. Each drive runs the Section 2.2 service loop against the
+// shared pending list; a tape mounted in one drive is unavailable to the
+// others (the Busy vector seen by the schedulers).
+//
+// Every drive uses its own scheduler instance (schedulers are stateful), all
+// of the same algorithm.
+type multiEngine struct {
+	*engine
+	drives []drive
+	scheds []sched.Scheduler
+	busy   []bool
+}
+
+// runMulti drives the multi-drive event loop. The embedded single-drive
+// engine supplies workload generation and metric accounting; st.Mounted,
+// st.Head and st.Active are views swapped per drive around scheduler calls.
+func (m *multiEngine) runMulti() (*Result, error) {
+	for i := range m.drives {
+		m.drives[i] = drive{mounted: -1, switched: -1}
+	}
+	for {
+		// Next drive needing attention.
+		d := -1
+		for i := range m.drives {
+			if d < 0 || m.drives[i].freeAt < m.drives[d].freeAt {
+				d = i
+			}
+		}
+		dr := &m.drives[d]
+		if dr.freeAt >= m.cfg.Horizon {
+			m.advanceClock(m.cfg.Horizon - m.now)
+			break
+		}
+		m.advanceClock(dr.freeAt - m.now)
+		m.pumpMulti()
+
+		// Report a switch that just finished (events carry completion
+		// times so the stream stays in time order across drives).
+		if dr.switched >= 0 {
+			m.emit(Event{Kind: EventSwitch, Time: m.now, Tape: dr.switched,
+				Pos: -1, Seconds: dr.opSec})
+			dr.switched = -1
+		}
+		// Finish the read that just completed.
+		if dr.inFlight != nil {
+			r := dr.inFlight
+			dr.inFlight = nil
+			m.emit(Event{Kind: EventRead, Time: m.now, Tape: r.Target.Tape,
+				Pos: r.Target.Pos, Seconds: dr.opSec, Request: r.ID})
+			m.completeMulti(d, r)
+			if m.cfg.MaxCompletions > 0 && m.completed >= m.cfg.MaxCompletions {
+				return m.result(), nil
+			}
+		}
+
+		// Start the drive's next operation.
+		if dr.active != nil && !dr.active.Empty() {
+			m.startRead(d)
+			continue
+		}
+		dr.active = nil
+		if len(m.st.Pending) == 0 {
+			m.parkDrive(d)
+			continue
+		}
+		m.bindDrive(d)
+		tape, sweep, ok := m.scheds[d].Reschedule(m.st)
+		m.unbindDrive(d)
+		if !ok {
+			// Every candidate tape is busy in another drive (or FIFO's
+			// oldest request is pinned to one); retry at the next event.
+			m.parkDrive(d)
+			continue
+		}
+		if m.busy[tape] && tape != dr.mounted {
+			return nil, fmt.Errorf("sim: scheduler %s selected busy tape %d", m.scheds[d].Name(), tape)
+		}
+		if tape != dr.mounted {
+			sw := m.st.Costs.SwitchCost(dr.mounted, dr.head, tape)
+			if dr.mounted >= 0 {
+				m.busy[dr.mounted] = false
+			}
+			m.busy[tape] = true
+			dr.mounted, dr.head = tape, 0
+			dr.active = sweep
+			dr.freeAt = m.now + sw
+			dr.switched, dr.opSec = tape, sw
+			m.switchSec += sw // bucketed directly; clock advances via freeAt
+			if m.now > m.warmupEnd {
+				m.switches++
+			}
+			continue
+		}
+		dr.active = sweep
+		m.startRead(d)
+	}
+	return m.result(), nil
+}
+
+// advanceClock moves wall-clock time without charging an activity bucket:
+// in a multi-drive jukebox the locate/read/switch buckets accumulate
+// drive-seconds (summed over drives) at the point each operation is issued,
+// while idle time means every drive is empty-handed.
+func (m *multiEngine) advanceClock(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	if m.allIdle() {
+		m.idleSec += dt
+	}
+	m.queueAreaSec += float64(m.outstanding) * dt
+	m.now += dt
+}
+
+// startRead pops the drive's next request and schedules its completion.
+func (m *multiEngine) startRead(d int) {
+	dr := &m.drives[d]
+	r := dr.active.Pop()
+	loc, rd, newHead := m.st.Costs.ServeOneParts(dr.head, r.Target.Pos)
+	dr.head = newHead
+	dr.inFlight = r
+	dr.opSec = loc + rd
+	dr.freeAt = m.now + loc + rd
+	m.locateSec += loc
+	m.readSec += rd
+	if m.now > m.warmupEnd {
+		m.readsPerTape[r.Target.Tape]++
+	}
+}
+
+// parkDrive stalls a drive until the next other-drive event or arrival.
+func (m *multiEngine) parkDrive(d int) {
+	next := m.nextArr
+	for i := range m.drives {
+		if i != d && m.drives[i].freeAt > m.now && m.drives[i].freeAt < next {
+			next = m.drives[i].freeAt
+		}
+	}
+	if math.IsInf(next, 1) || next <= m.now {
+		// Closed model with every other drive stuck too: nothing will ever
+		// arrive. Jump to the horizon.
+		next = m.cfg.Horizon
+	}
+	m.drives[d].freeAt = next
+}
+
+// completeMulti records a completion on drive d and routes the closed-model
+// replacement through the incremental schedulers.
+func (m *multiEngine) completeMulti(d int, r *sched.Request) {
+	m.totalDone++
+	m.outstanding--
+	if m.now > m.warmupEnd {
+		m.completed++
+		rt := m.now - r.Arrival
+		m.resp.Add(rt)
+		m.respSample.Add(rt, m.gen.Rand().Int63n)
+	}
+	m.emit(Event{Kind: EventComplete, Time: m.now, Tape: r.Target.Tape,
+		Pos: r.Target.Pos, Request: r.ID})
+	if m.arr.Closed() {
+		m.deliverMulti(m.newRequest(m.now))
+	}
+}
+
+// pumpMulti delivers due external arrivals through the incremental
+// schedulers.
+func (m *multiEngine) pumpMulti() {
+	for m.nextArr <= m.now {
+		r := m.newRequest(m.nextArr)
+		m.deliverMulti(r)
+		m.nextArr = m.arr.Next()
+	}
+}
+
+// deliverMulti offers a new request to each drive's in-flight sweep in
+// drive order; the first acceptance wins, otherwise the request joins the
+// shared pending list.
+func (m *multiEngine) deliverMulti(r *sched.Request) {
+	for d := range m.drives {
+		if m.drives[d].active == nil {
+			continue
+		}
+		m.bindDrive(d)
+		ok := m.scheds[d].OnArrival(m.st, r)
+		m.unbindDrive(d)
+		if ok {
+			return
+		}
+	}
+	m.st.Pending = append(m.st.Pending, r)
+}
+
+// bindDrive points the shared scheduling state at drive d. Busy excludes
+// every tape mounted elsewhere.
+func (m *multiEngine) bindDrive(d int) {
+	dr := &m.drives[d]
+	m.st.Mounted, m.st.Head, m.st.Active = dr.mounted, dr.head, dr.active
+	for t := range m.busy {
+		m.st.Busy[t] = m.busy[t]
+	}
+	if dr.mounted >= 0 {
+		m.st.Busy[dr.mounted] = false // its own tape is available to it
+	}
+}
+
+// unbindDrive copies mutated view state back to the drive.
+func (m *multiEngine) unbindDrive(d int) {
+	dr := &m.drives[d]
+	dr.active = m.st.Active
+	m.st.Active = nil
+}
+
+func (m *multiEngine) allIdle() bool {
+	for i := range m.drives {
+		if m.drives[i].inFlight != nil || (m.drives[i].active != nil && !m.drives[i].active.Empty()) {
+			return false
+		}
+	}
+	return true
+}

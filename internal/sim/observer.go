@@ -1,0 +1,64 @@
+package sim
+
+// EventKind labels one observed simulator event.
+type EventKind int
+
+const (
+	// EventSwitch: the drive replaced the mounted tape.
+	EventSwitch EventKind = iota
+	// EventRead: one block retrieval (locate + transfer) finished.
+	EventRead
+	// EventComplete: a request left the system.
+	EventComplete
+	// EventIdle: the drive sat idle waiting for an arrival.
+	EventIdle
+	// EventWriteFlush: buffered delta writes were flushed to tape (the
+	// write-model extension).
+	EventWriteFlush
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventSwitch:
+		return "switch"
+	case EventRead:
+		return "read"
+	case EventComplete:
+		return "complete"
+	case EventIdle:
+		return "idle"
+	case EventWriteFlush:
+		return "write-flush"
+	}
+	return "unknown"
+}
+
+// Event is one simulator occurrence, reported in simulated-time order.
+type Event struct {
+	Kind    EventKind
+	Time    float64 // simulation time at the end of the event
+	Tape    int     // tape involved (-1 when not applicable)
+	Pos     int     // block position involved (-1 when not applicable)
+	Seconds float64 // duration of the operation
+	Request int64   // request ID (EventRead/EventComplete), 0 otherwise
+}
+
+// Observer receives simulator events. Observers must be fast; they run
+// inline with the simulation. A nil observer costs nothing.
+type Observer interface {
+	Observe(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe calls f(e).
+func (f ObserverFunc) Observe(e Event) { f(e) }
+
+// emit reports an event to the configured observer, if any.
+func (e *engine) emit(ev Event) {
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.Observe(ev)
+	}
+}

@@ -1,0 +1,130 @@
+// Package stats provides the small statistical toolkit used by the
+// simulator: streaming moment accumulation (Welford's algorithm), simple
+// percentile estimation over retained samples, and harmonic numbers for the
+// Theorem 2 approximation bound.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Accumulator gathers streaming count/mean/variance/min/max without
+// retaining samples.
+type Accumulator struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// Count returns the number of observations.
+func (a *Accumulator) Count() int64 { return a.n }
+
+// Mean returns the sample mean, or 0 for an empty accumulator.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance, or 0 when fewer than two
+// observations have been added.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest observation, or 0 for an empty accumulator.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation, or 0 for an empty accumulator.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Sum returns n * mean, the total of all observations.
+func (a *Accumulator) Sum() float64 { return a.mean * float64(a.n) }
+
+// Reservoir retains up to K samples uniformly at random (Vitter's algorithm
+// R) so that percentiles can be estimated over long runs with bounded
+// memory. The caller supplies the random source as a function returning a
+// uniform int64 in [0, n) to keep the package free of RNG policy.
+type Reservoir struct {
+	K       int
+	samples []float64
+	seen    int64
+}
+
+// NewReservoir creates a reservoir holding at most k samples.
+func NewReservoir(k int) *Reservoir {
+	return &Reservoir{K: k, samples: make([]float64, 0, k)}
+}
+
+// Add offers one observation to the reservoir. intn must return a uniform
+// random integer in [0, n).
+func (r *Reservoir) Add(x float64, intn func(n int64) int64) {
+	r.seen++
+	if len(r.samples) < r.K {
+		r.samples = append(r.samples, x)
+		return
+	}
+	if j := intn(r.seen); j < int64(r.K) {
+		r.samples[j] = x
+	}
+}
+
+// Seen returns the total number of observations offered.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Percentile returns the p-quantile (p in [0,1]) of the retained samples
+// using linear interpolation, or 0 when the reservoir is empty.
+func (r *Reservoir) Percentile(p float64) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(r.samples))
+	copy(s, r.samples)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Harmonic returns the n-th harmonic number H_n = sum_{i=1..n} 1/i, the
+// factor appearing in the paper's Theorem 2 bound on the envelope-extension
+// schedule cost. Harmonic(0) is 0.
+func Harmonic(n int) float64 {
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.Count() != 0 || a.Mean() != 0 || a.Variance() != 0 {
+		t.Fatal("zero-value accumulator should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.Count() != 8 {
+		t.Errorf("Count = %d, want 8", a.Count())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	// Population variance of this classic set is 4; the unbiased sample
+	// variance is 32/7.
+	if math.Abs(a.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", a.Variance(), 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", a.Min(), a.Max())
+	}
+	if math.Abs(a.Sum()-40) > 1e-9 {
+		t.Errorf("Sum = %v, want 40", a.Sum())
+	}
+}
+
+// Property: the streaming mean matches a direct two-pass computation.
+func TestAccumulatorMatchesDirect(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Accumulator
+		sum := 0.0
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				ok = false
+				break
+			}
+			a.Add(x)
+			sum += x
+		}
+		if !ok || len(xs) == 0 {
+			return true
+		}
+		want := sum / float64(len(xs))
+		scale := math.Max(1, math.Abs(want))
+		return math.Abs(a.Mean()-want)/scale < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReservoirSmall(t *testing.T) {
+	r := NewReservoir(10)
+	rng := rand.New(rand.NewSource(1))
+	for i := 1; i <= 5; i++ {
+		r.Add(float64(i), rng.Int63n)
+	}
+	if r.Seen() != 5 {
+		t.Errorf("Seen = %d, want 5", r.Seen())
+	}
+	if got := r.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := r.Percentile(1); got != 5 {
+		t.Errorf("P100 = %v, want 5", got)
+	}
+	if got := r.Percentile(0.5); got != 3 {
+		t.Errorf("P50 = %v, want 3", got)
+	}
+}
+
+func TestReservoirBounded(t *testing.T) {
+	r := NewReservoir(100)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100000; i++ {
+		r.Add(rng.Float64(), rng.Int63n)
+	}
+	if len(r.samples) != 100 {
+		t.Fatalf("reservoir grew to %d samples, cap 100", len(r.samples))
+	}
+	// A uniform [0,1) stream should have a median near 0.5.
+	med := r.Percentile(0.5)
+	if med < 0.3 || med > 0.7 {
+		t.Errorf("median of uniform stream = %v, want near 0.5", med)
+	}
+}
+
+func TestEmptyReservoir(t *testing.T) {
+	r := NewReservoir(4)
+	if got := r.Percentile(0.5); got != 0 {
+		t.Errorf("empty reservoir percentile = %v, want 0", got)
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0}, {1, 1}, {2, 1.5}, {3, 1.5 + 1.0/3},
+		{10, 2.9289682539682538},
+	}
+	for _, c := range cases {
+		if got := Harmonic(c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Harmonic(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+// Property: H_n is increasing and H_n <= 1 + ln(n) for n >= 1.
+func TestHarmonicBounds(t *testing.T) {
+	f := func(m uint8) bool {
+		n := int(m)%500 + 1
+		h := Harmonic(n)
+		return h > Harmonic(n-1) && h <= 1+math.Log(float64(n))+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package tapemodel implements the tape drive timing model of Hillyer,
+// Rastogi and Silberschatz (ICDE 1999), Section 2.1.
+//
+// The model targets single-pass (helical-scan) tape technologies in which the
+// drive can read an entire tape in one forward pass and must rewind a tape
+// before ejecting it. Positioning time is piecewise linear in the distance
+// traversed, with separate fits for short and long motion in the forward and
+// reverse directions. All times are in seconds; all distances are in
+// megabytes (the paper fits its model to 1 MB logical blocks, so one unit of
+// distance is one megabyte of tape).
+package tapemodel
+
+// Segment is one linear piece of the positioning model: a fixed startup time
+// plus a per-megabyte term.
+type Segment struct {
+	Startup float64 // seconds
+	PerMB   float64 // seconds per megabyte traversed
+}
+
+// Time evaluates the segment for a motion of k megabytes.
+func (s Segment) Time(k float64) float64 {
+	return s.Startup + s.PerMB*k
+}
+
+// Direction of the most recent head motion. The read-time model depends on
+// whether the preceding locate was forward or reverse.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Reverse
+)
+
+// String returns "forward" or "reverse".
+func (d Direction) String() string {
+	if d == Reverse {
+		return "reverse"
+	}
+	return "forward"
+}
+
+// Profile describes the timing behaviour of one drive/library combination.
+type Profile struct {
+	Name string
+
+	// Locate segments. Motion of k MB uses the Short segment when
+	// k <= ShortMaxMB and the Long segment otherwise.
+	ShortForward Segment
+	LongForward  Segment
+	ShortReverse Segment
+	LongReverse  Segment
+	ShortMaxMB   float64
+
+	// BOTOverhead is the additional time incurred when a locate ends at the
+	// physical beginning of the tape (the drive performs housekeeping
+	// whenever it fully rewinds).
+	BOTOverhead float64
+
+	// Read segments: time to read k MB after a locate in the given
+	// direction. (The paper measures 0.38 + 1.77k after a forward locate and
+	// 1.77k after a reverse locate for the EXB-8505XL.)
+	ReadForward Segment
+	ReadReverse Segment
+
+	// Tape switch components. A full switch is eject + robot + load; the
+	// mandatory rewind before eject is charged separately via Rewind.
+	EjectTime float64
+	RobotTime float64
+	LoadTime  float64
+}
+
+// LocateForward returns the time to move the head forward past k megabytes.
+// A zero-distance motion is free: no locate command is issued and the read
+// continues streaming.
+func (p *Profile) LocateForward(k float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k <= p.ShortMaxMB {
+		return p.ShortForward.Time(k)
+	}
+	return p.LongForward.Time(k)
+}
+
+// LocateReverse returns the time to move the head backward past k megabytes.
+func (p *Profile) LocateReverse(k float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k <= p.ShortMaxMB {
+		return p.ShortReverse.Time(k)
+	}
+	return p.LongReverse.Time(k)
+}
+
+// Locate returns the time to reposition the head from byte offset `from` MB
+// to offset `to` MB, including the beginning-of-tape overhead when the target
+// is offset 0, together with the direction of the motion. When from == to the
+// motion is free and the reported direction is Forward (streaming continues).
+func (p *Profile) Locate(from, to float64) (seconds float64, dir Direction) {
+	switch {
+	case to > from:
+		seconds = p.LocateForward(to - from)
+		dir = Forward
+	case to < from:
+		seconds = p.LocateReverse(from - to)
+		dir = Reverse
+		if to == 0 {
+			seconds += p.BOTOverhead
+		}
+	default:
+		return 0, Forward
+	}
+	return seconds, dir
+}
+
+// Read returns the time to transfer k megabytes when the preceding head
+// motion was in direction dir.
+func (p *Profile) Read(k float64, dir Direction) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if dir == Reverse {
+		return p.ReadReverse.Time(k)
+	}
+	return p.ReadForward.Time(k)
+}
+
+// Rewind returns the time to rewind from byte offset `from` MB to the
+// physical beginning of the tape (a reverse locate plus the BOT overhead).
+// Rewinding from offset 0 is free.
+func (p *Profile) Rewind(from float64) float64 {
+	if from <= 0 {
+		return 0
+	}
+	return p.LocateReverse(from) + p.BOTOverhead
+}
+
+// SwitchTime returns the mechanical tape-switch time: eject the old tape,
+// move the robotic arm, and load the new tape. It excludes the rewind of the
+// old tape, which depends on the head position (see Rewind).
+func (p *Profile) SwitchTime() float64 {
+	return p.EjectTime + p.RobotTime + p.LoadTime
+}
+
+// FullSwitch returns the complete cost of replacing the mounted tape when the
+// head sits at byte offset `from` MB: rewind, eject, robotic motion, load.
+func (p *Profile) FullSwitch(from float64) float64 {
+	return p.Rewind(from) + p.SwitchTime()
+}
+
+// StreamingRateMBps returns the sustained forward transfer rate implied by
+// the read model (the asymptotic megabytes per second for long reads).
+func (p *Profile) StreamingRateMBps() float64 {
+	if p.ReadForward.PerMB == 0 {
+		return 0
+	}
+	return 1 / p.ReadForward.PerMB
+}

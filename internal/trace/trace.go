@@ -1,0 +1,191 @@
+// Package trace records simulator event streams to a line-oriented JSON
+// format and computes operational summaries from them. A trace answers the
+// questions an operator would ask of a real jukebox's activity log: how
+// busy was the drive, how often did tapes switch, which tapes were hot, how
+// long were the sweeps.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"tapejuke/internal/sim"
+	"tapejuke/internal/stats"
+)
+
+// Record is the serialized form of one simulator event.
+type Record struct {
+	Kind    string  `json:"kind"`
+	Time    float64 `json:"t"`
+	Tape    int     `json:"tape"`
+	Pos     int     `json:"pos"`
+	Seconds float64 `json:"sec"`
+	Request int64   `json:"req,omitempty"`
+}
+
+// Recorder is a sim.Observer that writes one JSON line per event. It
+// buffers internally; call Flush before reading the destination.
+type Recorder struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+	n   int64
+}
+
+// NewRecorder wraps the writer. Events are appended as JSON lines.
+func NewRecorder(w io.Writer) *Recorder {
+	bw := bufio.NewWriter(w)
+	return &Recorder{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Observe serializes one event. The first encoding error sticks and
+// subsequent events are dropped; check Err after the run.
+func (r *Recorder) Observe(ev sim.Event) {
+	if r.err != nil {
+		return
+	}
+	r.n++
+	r.err = r.enc.Encode(Record{
+		Kind:    ev.Kind.String(),
+		Time:    ev.Time,
+		Tape:    ev.Tape,
+		Pos:     ev.Pos,
+		Seconds: ev.Seconds,
+		Request: ev.Request,
+	})
+}
+
+// Flush drains the internal buffer.
+func (r *Recorder) Flush() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+// Err returns the first error encountered while recording.
+func (r *Recorder) Err() error { return r.err }
+
+// Count returns the number of events recorded.
+func (r *Recorder) Count() int64 { return r.n }
+
+// Read parses a recorded trace back into records.
+func Read(rd io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(rd)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: record %d: %w", len(out)+1, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// Summary aggregates a trace into operator-facing statistics.
+type Summary struct {
+	Events     int64
+	Reads      int64
+	Switches   int64
+	Completes  int64
+	Flushes    int64
+	IdleSpells int64
+
+	Span            float64 // last event time
+	ReadSeconds     float64 // total time inside read operations (locate+transfer)
+	SwitchSeconds   float64
+	IdleSeconds     float64
+	MeanSweepLen    float64 // reads per tape visit
+	MeanSwitchGap   float64 // seconds between consecutive switches
+	ReadsPerTape    map[int]int64
+	BusiestTape     int
+	BusiestTapeFrac float64
+}
+
+// Summarize computes a Summary from records in time order.
+func Summarize(recs []Record) *Summary {
+	s := &Summary{ReadsPerTape: make(map[int]int64), BusiestTape: -1}
+	var gap stats.Accumulator
+	lastSwitch := -1.0
+	readsSinceSwitch := int64(0)
+	var sweeps stats.Accumulator
+	for _, r := range recs {
+		s.Events++
+		if r.Time > s.Span {
+			s.Span = r.Time
+		}
+		switch r.Kind {
+		case "read":
+			s.Reads++
+			s.ReadSeconds += r.Seconds
+			readsSinceSwitch++
+			if r.Tape >= 0 {
+				s.ReadsPerTape[r.Tape]++
+			}
+		case "switch":
+			s.Switches++
+			s.SwitchSeconds += r.Seconds
+			if lastSwitch >= 0 {
+				gap.Add(r.Time - lastSwitch)
+			}
+			lastSwitch = r.Time
+			if readsSinceSwitch > 0 {
+				sweeps.Add(float64(readsSinceSwitch))
+			}
+			readsSinceSwitch = 0
+		case "complete":
+			s.Completes++
+		case "write-flush":
+			s.Flushes++
+		case "idle":
+			s.IdleSpells++
+			s.IdleSeconds += r.Seconds
+		}
+	}
+	if readsSinceSwitch > 0 {
+		sweeps.Add(float64(readsSinceSwitch))
+	}
+	s.MeanSweepLen = sweeps.Mean()
+	s.MeanSwitchGap = gap.Mean()
+	var best int64 = -1
+	// Deterministic tie-break: lowest tape index wins.
+	tapes := make([]int, 0, len(s.ReadsPerTape))
+	for t := range s.ReadsPerTape {
+		tapes = append(tapes, t)
+	}
+	sort.Ints(tapes)
+	for _, t := range tapes {
+		if s.ReadsPerTape[t] > best {
+			best = s.ReadsPerTape[t]
+			s.BusiestTape = t
+		}
+	}
+	if s.Reads > 0 && best > 0 {
+		s.BusiestTapeFrac = float64(best) / float64(s.Reads)
+	}
+	return s
+}
+
+// Format renders the summary as aligned text.
+func (s *Summary) Format(w io.Writer) {
+	fmt.Fprintf(w, "events            %d over %.0f simulated seconds\n", s.Events, s.Span)
+	fmt.Fprintf(w, "reads             %d (%.0f s in read+locate)\n", s.Reads, s.ReadSeconds)
+	fmt.Fprintf(w, "tape switches     %d (%.0f s; mean gap %.0f s)\n", s.Switches, s.SwitchSeconds, s.MeanSwitchGap)
+	fmt.Fprintf(w, "mean sweep        %.1f reads per tape visit\n", s.MeanSweepLen)
+	fmt.Fprintf(w, "completions       %d\n", s.Completes)
+	if s.Flushes > 0 {
+		fmt.Fprintf(w, "write flushes     %d\n", s.Flushes)
+	}
+	if s.IdleSpells > 0 {
+		fmt.Fprintf(w, "idle              %d spells, %.0f s\n", s.IdleSpells, s.IdleSeconds)
+	}
+	if s.BusiestTape >= 0 {
+		fmt.Fprintf(w, "busiest tape      %d (%.0f%% of reads)\n", s.BusiestTape, 100*s.BusiestTapeFrac)
+	}
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"tapejuke/internal/jukebox"
+	"tapejuke/internal/tapemodel"
+)
+
+// VerifyReport summarizes a trace replay: every read and switch operation
+// re-executed against the drive timing model, with recomputed durations
+// compared to the recorded ones.
+type VerifyReport struct {
+	Operations int     // reads + switches replayed
+	Mismatches int     // operations whose recomputed duration disagrees
+	MaxError   float64 // largest absolute disagreement in seconds
+	First      string  // description of the first mismatch, "" if none
+}
+
+// OK reports whether the trace is consistent with the timing model.
+func (r *VerifyReport) OK() bool { return r.Mismatches == 0 }
+
+// Verify replays a single-drive trace through a fresh jukebox deck with the
+// given geometry and timing model, recomputing the duration of every read
+// and tape switch and comparing it to the recorded value within tol
+// seconds. It is an integrity check: a trace that fails either was recorded
+// under different parameters or has been altered.
+//
+// Traces containing write-flush events are rejected (the flush path moves
+// the head through delta-log positions outside the replayed geometry), as
+// are multi-drive traces (interleaved head positions are not replayable on
+// one deck).
+func Verify(recs []Record, prof tapemodel.Positioner, blockMB float64, tapes, capBlocks int, tol float64) (*VerifyReport, error) {
+	for _, r := range recs {
+		if r.Kind == "write-flush" {
+			return nil, fmt.Errorf("trace: verification does not support write-flush traces")
+		}
+	}
+	deck, err := jukebox.NewDeck(prof, blockMB, tapes, capBlocks)
+	if err != nil {
+		return nil, err
+	}
+	rep := &VerifyReport{}
+	note := func(i int, kind string, got, want float64) {
+		diff := math.Abs(got - want)
+		if diff <= tol {
+			return
+		}
+		rep.Mismatches++
+		if diff > rep.MaxError {
+			rep.MaxError = diff
+		}
+		if rep.First == "" {
+			rep.First = fmt.Sprintf("record %d (%s): recorded %.6f s, recomputed %.6f s", i, kind, want, got)
+		}
+	}
+	for i, r := range recs {
+		switch r.Kind {
+		case "switch":
+			got, err := deck.Mount(r.Tape)
+			if err != nil {
+				return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			}
+			rep.Operations++
+			note(i, "switch", got, r.Seconds)
+		case "read":
+			if deck.Mounted() != r.Tape {
+				return nil, fmt.Errorf("trace: record %d reads tape %d but tape %d is mounted (multi-drive trace?)",
+					i, r.Tape, deck.Mounted())
+			}
+			got, err := deck.ReadBlock(r.Pos)
+			if err != nil {
+				return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			}
+			rep.Operations++
+			note(i, "read", got, r.Seconds)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"tapejuke/internal/sched"
+	"tapejuke/internal/sim"
+	"tapejuke/internal/tapemodel"
+)
+
+func recordedTrace(t *testing.T) []Record {
+	t.Helper()
+	var buf bytes.Buffer
+	runWithRecorder(t, &buf)
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestVerifyCleanTrace(t *testing.T) {
+	recs := recordedTrace(t)
+	rep, err := Verify(recs, tapemodel.EXB8505XL(), 16, 10, 448, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("clean trace failed verification: %+v", rep)
+	}
+	if rep.Operations == 0 {
+		t.Error("nothing replayed")
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	recs := recordedTrace(t)
+	// Inflate one read's duration, as a corrupted or falsified log would.
+	for i := range recs {
+		if recs[i].Kind == "read" {
+			recs[i].Seconds += 5
+			break
+		}
+	}
+	rep, err := Verify(recs, tapemodel.EXB8505XL(), 16, 10, 448, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("tampered trace verified")
+	}
+	if rep.Mismatches != 1 || rep.MaxError < 4.9 {
+		t.Errorf("report: %+v", rep)
+	}
+	if rep.First == "" {
+		t.Error("first mismatch not described")
+	}
+}
+
+func TestVerifyDetectsWrongModel(t *testing.T) {
+	recs := recordedTrace(t)
+	// Replaying an EXB trace against the fast drive must disagree widely.
+	rep, err := Verify(recs, tapemodel.FastHelical(), 16, 10, 448, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Error("wrong-model replay verified")
+	}
+}
+
+// A real two-drive trace interleaves reads from tapes mounted in different
+// drives; single-deck replay must reject it rather than misverify.
+func TestVerifyRejectsMultiDriveTrace(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	_, err := sim.Run(sim.Config{
+		BlockMB: 16, TapeCapMB: 7168, Tapes: 10,
+		HotPercent: 10, ReadHotPercent: 40,
+		QueueLength: 40,
+		Scheduler:   sched.NewDynamic(sched.MaxBandwidth),
+		Drives:      2,
+		SchedulerFactory: func() sched.Scheduler {
+			return sched.NewDynamic(sched.MaxBandwidth)
+		},
+		Horizon: 60_000, Seed: 3,
+		Observer: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(recs, tapemodel.EXB8505XL(), 16, 10, 448, 1e-6); err == nil {
+		t.Error("two-drive trace verified on one deck")
+	}
+}
+
+func TestVerifyRejectsUnreplayable(t *testing.T) {
+	if _, err := Verify([]Record{{Kind: "write-flush"}}, tapemodel.EXB8505XL(), 16, 10, 448, 1e-6); err == nil {
+		t.Error("write-flush trace accepted")
+	}
+	// A read on an unmounted tape (as interleaved multi-drive traces
+	// produce) is rejected rather than misverified.
+	bad := []Record{
+		{Kind: "switch", Tape: 1, Seconds: 62},
+		{Kind: "read", Tape: 5, Pos: 3, Seconds: 40},
+	}
+	if _, err := Verify(bad, tapemodel.EXB8505XL(), 16, 10, 448, 1e-6); err == nil {
+		t.Error("cross-tape read accepted")
+	}
+	// Out-of-range positions surface as errors.
+	bad = []Record{
+		{Kind: "switch", Tape: 1, Seconds: 62},
+		{Kind: "read", Tape: 1, Pos: 9999, Seconds: 40},
+	}
+	if _, err := Verify(bad, tapemodel.EXB8505XL(), 16, 10, 448, 1e-6); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+}

@@ -1,0 +1,171 @@
+// Package workload generates the request streams of the study: random
+// logical block reads with hot/cold skew (Section 4), driven either by a
+// closed-queuing model (a fixed population of I/O-bound processes keeping
+// the queue length constant) or an open-queuing model (Poisson arrivals from
+// a large client pool).
+//
+// The skew model has two parameters: PH, the percent of tape-resident data
+// that is hot (a property of the layout), and RH, the percent of requests
+// directed to hot data. A hot request picks uniformly among hot blocks, a
+// cold request uniformly among cold blocks. Requested blocks are independent
+// of one another; the paper deliberately does not exploit clustered or
+// Markov-type dependencies.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tapejuke/internal/layout"
+)
+
+// Generator draws random block requests with hot/cold skew. With a
+// positive sequential probability it also models clustered access -- the
+// Markov-type dependence the paper deliberately excludes ("we do not
+// exploit performance gains from clustered or Markov-type data
+// dependencies") -- so that exclusion can be quantified: each request
+// continues the previous one's sequential run with probability p, else
+// draws fresh from the skewed distribution.
+type Generator struct {
+	numHot  int
+	numCold int
+	rh      float64 // fraction (0..1) of requests to hot data
+	seqProb float64 // probability the next request continues sequentially
+	last    layout.BlockID
+	started bool
+	rng     *rand.Rand
+}
+
+// NewGenerator builds a generator over the blocks of l, directing
+// readHotPercent (RH) percent of requests to the hot set. Deterministic for
+// a given seed.
+func NewGenerator(l *layout.Layout, readHotPercent float64, seed int64) (*Generator, error) {
+	if readHotPercent < 0 || readHotPercent > 100 {
+		return nil, fmt.Errorf("workload: RH %v out of range [0,100]", readHotPercent)
+	}
+	g := &Generator{
+		numHot:  l.NumHot(),
+		numCold: l.NumCold(),
+		rh:      readHotPercent / 100,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	if g.numHot == 0 && g.rh > 0 {
+		// No hot blocks to direct requests at; fall back to uniform cold.
+		g.rh = 0
+	}
+	if g.numCold == 0 && g.rh < 1 {
+		if g.numHot == 0 {
+			return nil, errors.New("workload: layout holds no blocks")
+		}
+		g.rh = 1
+	}
+	return g, nil
+}
+
+// SetSequentialProb enables clustered access: each request continues the
+// previous block's run (next block ID within its hot/cold class) with the
+// given probability. Zero restores the paper's independent-request model.
+func (g *Generator) SetSequentialProb(p float64) error {
+	if p < 0 || p >= 1 {
+		return fmt.Errorf("workload: sequential probability %v out of [0,1)", p)
+	}
+	g.seqProb = p
+	return nil
+}
+
+// Next returns the next requested logical block.
+func (g *Generator) Next() layout.BlockID {
+	if g.started && g.seqProb > 0 && g.rng.Float64() < g.seqProb {
+		g.last = g.successor(g.last)
+		return g.last
+	}
+	var b layout.BlockID
+	if g.rng.Float64() < g.rh {
+		b = layout.BlockID(g.rng.Intn(g.numHot))
+	} else {
+		b = layout.BlockID(g.numHot + g.rng.Intn(g.numCold))
+	}
+	g.last, g.started = b, true
+	return b
+}
+
+// successor returns the next block within the same hot/cold class, wrapping
+// at the class boundary so sequential runs preserve the skew.
+func (g *Generator) successor(b layout.BlockID) layout.BlockID {
+	if int(b) < g.numHot {
+		return layout.BlockID((int(b) + 1) % g.numHot)
+	}
+	c := int(b) - g.numHot
+	return layout.BlockID(g.numHot + (c+1)%g.numCold)
+}
+
+// Rand exposes the generator's random source so that other simulator
+// components (e.g. reservoir sampling) can share one deterministic stream.
+func (g *Generator) Rand() *rand.Rand { return g.rng }
+
+// Arrivals produces request arrival times. Implementations are deterministic
+// for a fixed seed.
+type Arrivals interface {
+	// Closed reports whether the process is a closed-queuing model. Closed
+	// models regenerate a request at every completion rather than following
+	// an external arrival clock.
+	Closed() bool
+	// InitialCount is the number of requests present at time zero.
+	InitialCount() int
+	// Next returns the next external arrival time; successive calls yield a
+	// non-decreasing sequence. Closed models return +Inf (no external
+	// arrivals). The simulator consumes arrivals one at a time so none are
+	// ever skipped.
+	Next() float64
+}
+
+// ClosedArrivals implements the closed-queuing model: QueueLength requests
+// exist at time zero, and every completion immediately generates a
+// replacement, so the number of outstanding requests is constant.
+type ClosedArrivals struct {
+	QueueLength int
+}
+
+// Closed reports true.
+func (c ClosedArrivals) Closed() bool { return true }
+
+// InitialCount returns the constant queue length.
+func (c ClosedArrivals) InitialCount() int { return c.QueueLength }
+
+// Next returns +Inf: a closed model has no external arrival process.
+func (c ClosedArrivals) Next() float64 { return math.Inf(1) }
+
+// PoissonArrivals implements the open-queuing model: arrivals form a Poisson
+// process with the given mean interarrival time (seconds).
+type PoissonArrivals struct {
+	MeanInterarrival float64
+	rng              *rand.Rand
+	clock            float64
+}
+
+// NewPoissonArrivals creates an open arrival process; the first arrival
+// occurs at an exponentially distributed time after zero.
+func NewPoissonArrivals(meanInterarrival float64, seed int64) (*PoissonArrivals, error) {
+	if meanInterarrival <= 0 {
+		return nil, fmt.Errorf("workload: mean interarrival %v must be positive", meanInterarrival)
+	}
+	return &PoissonArrivals{
+		MeanInterarrival: meanInterarrival,
+		rng:              rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Closed reports false.
+func (p *PoissonArrivals) Closed() bool { return false }
+
+// InitialCount returns 0: the open system starts empty.
+func (p *PoissonArrivals) InitialCount() int { return 0 }
+
+// Next returns the next arrival time; gaps are exponentially distributed
+// with the configured mean.
+func (p *PoissonArrivals) Next() float64 {
+	p.clock += p.rng.ExpFloat64() * p.MeanInterarrival
+	return p.clock
+}

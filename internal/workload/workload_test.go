@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tapejuke/internal/layout"
+)
+
+func testLayout(t *testing.T, ph float64) *layout.Layout {
+	t.Helper()
+	l, err := layout.Build(layout.Config{
+		Tapes: 10, TapeCapBlocks: 448, HotPercent: ph,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestSkewFractions(t *testing.T) {
+	l := testLayout(t, 10)
+	g, err := NewGenerator(l, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	hot := 0
+	for i := 0; i < n; i++ {
+		b := g.Next()
+		if b < 0 || int(b) >= l.NumBlocks() {
+			t.Fatalf("block %d out of range", b)
+		}
+		if l.IsHot(b) {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if math.Abs(frac-0.40) > 0.01 {
+		t.Errorf("hot fraction = %.3f, want 0.40 +- 0.01", frac)
+	}
+}
+
+func TestSkewDeterminism(t *testing.T) {
+	l := testLayout(t, 10)
+	g1, _ := NewGenerator(l, 40, 42)
+	g2, _ := NewGenerator(l, 40, 42)
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	g3, _ := NewGenerator(l, 40, 43)
+	same := true
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g3.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorEdgeCases(t *testing.T) {
+	// No hot data: RH is ignored, all requests are cold.
+	l0 := testLayout(t, 0)
+	g, err := NewGenerator(l0, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if l0.IsHot(g.Next()) {
+			t.Fatal("hot request from a layout with no hot blocks")
+		}
+	}
+	// All hot data: every request is hot.
+	l100, err := layout.Build(layout.Config{Tapes: 10, TapeCapBlocks: 448, HotPercent: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = NewGenerator(l100, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !l100.IsHot(g.Next()) {
+			t.Fatal("cold request from a layout with no cold blocks")
+		}
+	}
+	// RH out of range.
+	if _, err := NewGenerator(l0, -1, 1); err == nil {
+		t.Error("RH=-1 accepted")
+	}
+	if _, err := NewGenerator(l0, 101, 1); err == nil {
+		t.Error("RH=101 accepted")
+	}
+}
+
+func TestClosedArrivals(t *testing.T) {
+	c := ClosedArrivals{QueueLength: 60}
+	if !c.Closed() {
+		t.Error("ClosedArrivals.Closed() = false")
+	}
+	if c.InitialCount() != 60 {
+		t.Errorf("InitialCount = %d, want 60", c.InitialCount())
+	}
+	if !math.IsInf(c.Next(), 1) {
+		t.Error("closed model should have no external arrivals")
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	p, err := NewPoissonArrivals(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Closed() {
+		t.Error("PoissonArrivals.Closed() = true")
+	}
+	if p.InitialCount() != 0 {
+		t.Error("open model should start empty")
+	}
+	const n = 100000
+	prev := 0.0
+	for i := 0; i < n; i++ {
+		next := p.Next()
+		if next <= prev {
+			t.Fatalf("arrival %d at %v not after %v", i, next, prev)
+		}
+		prev = next
+	}
+	mean := prev / n
+	if math.Abs(mean-100)/100 > 0.02 {
+		t.Errorf("mean interarrival = %v, want 100 +- 2%%", mean)
+	}
+	if _, err := NewPoissonArrivals(0, 1); err == nil {
+		t.Error("zero interarrival accepted")
+	}
+	if _, err := NewPoissonArrivals(-5, 1); err == nil {
+		t.Error("negative interarrival accepted")
+	}
+}
+
+func TestSequentialRuns(t *testing.T) {
+	l := testLayout(t, 10)
+	g, err := NewGenerator(l, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetSequentialProb(0.8); err != nil {
+		t.Fatal(err)
+	}
+	successor := func(b layout.BlockID) layout.BlockID {
+		if l.IsHot(b) {
+			return layout.BlockID((int(b) + 1) % l.NumHot())
+		}
+		c := int(b) - l.NumHot()
+		return layout.BlockID(l.NumHot() + (c+1)%l.NumCold())
+	}
+	const n = 50000
+	sequential := 0
+	prev := g.Next()
+	for i := 1; i < n; i++ {
+		b := g.Next()
+		if b == successor(prev) {
+			sequential++
+		}
+		prev = b
+	}
+	frac := float64(sequential) / n
+	if math.Abs(frac-0.8) > 0.03 {
+		t.Errorf("sequential fraction = %.3f, want about 0.8", frac)
+	}
+	// Skew must be preserved: runs stay within their class.
+	hot := 0
+	for i := 0; i < n; i++ {
+		if l.IsHot(g.Next()) {
+			hot++
+		}
+	}
+	if f := float64(hot) / n; math.Abs(f-0.4) > 0.05 {
+		t.Errorf("hot fraction with clustering = %.3f, want about 0.4", f)
+	}
+}
+
+func TestSequentialProbValidation(t *testing.T) {
+	l := testLayout(t, 10)
+	g, _ := NewGenerator(l, 40, 1)
+	if err := g.SetSequentialProb(-0.1); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if err := g.SetSequentialProb(1); err == nil {
+		t.Error("probability 1 accepted (would loop forever on one run)")
+	}
+	if err := g.SetSequentialProb(0); err != nil {
+		t.Errorf("zero rejected: %v", err)
+	}
+}
+
+func TestZipfDeterminism(t *testing.T) {
+	l := testLayout(t, 10)
+	g1, _ := NewZipfGenerator(l, 1.5, 42)
+	g2, _ := NewZipfGenerator(l, 1.5, 42)
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("same seed produced different Zipf streams")
+		}
+	}
+}
+
+func TestZipfPopularityOrder(t *testing.T) {
+	l := testLayout(t, 10)
+	g, err := NewZipfGenerator(l, 1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	counts := make([]int, l.NumBlocks())
+	for i := 0; i < n; i++ {
+		b := g.Next()
+		if int(b) >= l.NumBlocks() || b < 0 {
+			t.Fatalf("block %d out of range", b)
+		}
+		counts[b]++
+	}
+	// Block 0 is the most popular; popularity decays with rank.
+	if counts[0] < counts[10] || counts[10] < counts[1000] {
+		t.Errorf("popularity not decreasing: c0=%d c10=%d c1000=%d",
+			counts[0], counts[10], counts[1000])
+	}
+	// The hot class (lowest IDs) absorbs a large share of requests.
+	hot := 0
+	for b := 0; b < l.NumHot(); b++ {
+		hot += counts[b]
+	}
+	if frac := float64(hot) / n; frac < 0.5 {
+		t.Errorf("hot class absorbed %.0f%% under Zipf(1.5); expected a majority", frac*100)
+	}
+}
+
+func TestZipfSkewGrowsWithS(t *testing.T) {
+	l := testLayout(t, 10)
+	hotShare := func(s float64) float64 {
+		g, err := NewZipfGenerator(l, s, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot := 0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			if l.IsHot(g.Next()) {
+				hot++
+			}
+		}
+		return float64(hot) / n
+	}
+	if mild, sharp := hotShare(1.2), hotShare(2.5); sharp <= mild {
+		t.Errorf("Zipf(2.5) hot share %.2f should exceed Zipf(1.2) %.2f", sharp, mild)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	l := testLayout(t, 10)
+	for _, s := range []float64{0, 1, -2} {
+		if _, err := NewZipfGenerator(l, s, 1); err == nil {
+			t.Errorf("exponent %v accepted", s)
+		}
+	}
+	g, err := NewZipfGenerator(l, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rand() == nil {
+		t.Error("Rand not exposed")
+	}
+}
+
+// Property: the empirical hot fraction tracks RH for arbitrary skews.
+func TestSkewProperty(t *testing.T) {
+	l := testLayout(t, 10)
+	f := func(rhRaw uint8, seed int64) bool {
+		rh := float64(rhRaw % 101)
+		g, err := NewGenerator(l, rh, seed)
+		if err != nil {
+			return false
+		}
+		const n = 20000
+		hot := 0
+		for i := 0; i < n; i++ {
+			if l.IsHot(g.Next()) {
+				hot++
+			}
+		}
+		return math.Abs(float64(hot)/n-rh/100) < 0.03
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tapejuke/internal/layout"
+)
+
+// Source produces the block-request stream for the simulator. Generator
+// implements the paper's two-class hot/cold skew; ZipfGenerator is the
+// extension for rank-based popularity.
+type Source interface {
+	// Next returns the next requested logical block.
+	Next() layout.BlockID
+	// Rand exposes the underlying random stream so other simulator
+	// components can share one deterministic source.
+	Rand() *rand.Rand
+}
+
+var (
+	_ Source = (*Generator)(nil)
+	_ Source = (*ZipfGenerator)(nil)
+)
+
+// ZipfGenerator draws blocks with Zipf-distributed popularity: block 0 is
+// the most popular, block N-1 the least. This is an extension beyond the
+// paper, whose skew model is the two-class hot/cold distribution; because
+// the layout packages place blocks 0..NumHot-1 as the "hot" class, Zipf
+// popularity composes naturally with the paper's placement and replication
+// schemes (the most popular blocks are exactly the placed-and-replicated
+// ones).
+type ZipfGenerator struct {
+	z   *rand.Zipf
+	rng *rand.Rand
+}
+
+// NewZipfGenerator builds a Zipf source over the blocks of l with exponent
+// s (> 1; larger is more skewed). Deterministic for a given seed.
+func NewZipfGenerator(l *layout.Layout, s float64, seed int64) (*ZipfGenerator, error) {
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: Zipf exponent %v must exceed 1", s)
+	}
+	if l.NumBlocks() < 1 {
+		return nil, fmt.Errorf("workload: layout holds no blocks")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfGenerator{
+		z:   rand.NewZipf(rng, s, 1, uint64(l.NumBlocks()-1)),
+		rng: rng,
+	}, nil
+}
+
+// Next returns the next requested block; lower IDs are more popular.
+func (g *ZipfGenerator) Next() layout.BlockID { return layout.BlockID(g.z.Uint64()) }
+
+// Rand exposes the generator's random source.
+func (g *ZipfGenerator) Rand() *rand.Rand { return g.rng }

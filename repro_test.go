@@ -1,0 +1,330 @@
+// Integration tests asserting the paper's eight experimental conclusions
+// (Section 4) hold in this reproduction. Each test simulates the relevant
+// configurations at a moderate horizon and checks the *shape* of the result
+// -- who wins and roughly by how much -- rather than absolute numbers.
+package tapejuke_test
+
+import (
+	"testing"
+
+	"tapejuke"
+)
+
+// claimCfg is the study's reference configuration at a test-friendly
+// horizon: long enough for stable means, short enough to keep `go test`
+// fast.
+func claimCfg() tapejuke.Config {
+	return tapejuke.Config{HorizonSec: 400_000}.WithDefaults()
+}
+
+func mustRun(t *testing.T, cfg tapejuke.Config) *tapejuke.Result {
+	t.Helper()
+	res, err := tapejuke.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Question 1: the I/O size should be at least 16 MB; halving it to 8 MB
+// costs close to a factor of two, and 16 MB sustains over 30% of the
+// drive's streaming rate.
+func TestQ1TransferSize(t *testing.T) {
+	cfg := claimCfg()
+	at16 := mustRun(t, cfg)
+	cfg.BlockMB = 8
+	at8 := mustRun(t, cfg)
+
+	ratio := at16.ThroughputKBps / at8.ThroughputKBps
+	if ratio < 1.3 {
+		t.Errorf("16 MB / 8 MB throughput ratio = %.2f, paper reports nearly 2x", ratio)
+	}
+	stream, _ := tapejuke.StreamingRateKBps("exb8505xl")
+	if frac := at16.ThroughputKBps / stream; frac < 0.30 {
+		t.Errorf("16 MB blocks reach %.0f%% of streaming, paper reports above 30%%", frac*100)
+	}
+}
+
+// Question 2: without replication, dynamic max-bandwidth is a top
+// scheduler; dynamic algorithms beat their static counterparts at heavy
+// load, and everything beats FIFO.
+func TestQ2SchedulingNoReplication(t *testing.T) {
+	run := func(a tapejuke.Algorithm, queue int) *tapejuke.Result {
+		cfg := claimCfg()
+		cfg.Algorithm = a
+		cfg.QueueLength = queue
+		return mustRun(t, cfg)
+	}
+	const heavy = 140
+	fifo := run(tapejuke.FIFO, heavy)
+	statBW := run(tapejuke.StaticMaxBandwidth, heavy)
+	dynBW := run(tapejuke.DynamicMaxBandwidth, heavy)
+	dynMR := run(tapejuke.DynamicMaxRequests, heavy)
+
+	if statBW.ThroughputKBps <= fifo.ThroughputKBps*1.5 {
+		t.Errorf("static max-bandwidth (%.0f) should crush FIFO (%.0f)",
+			statBW.ThroughputKBps, fifo.ThroughputKBps)
+	}
+	if dynBW.ThroughputKBps <= statBW.ThroughputKBps {
+		t.Errorf("dynamic (%.0f) should beat static (%.0f) at heavy load",
+			dynBW.ThroughputKBps, statBW.ThroughputKBps)
+	}
+	// "the simpler max requests algorithm is nearly as good": within 10%.
+	if dynMR.ThroughputKBps < dynBW.ThroughputKBps*0.9 {
+		t.Errorf("dynamic max-requests (%.0f) should be within 10%% of max-bandwidth (%.0f)",
+			dynMR.ThroughputKBps, dynBW.ThroughputKBps)
+	}
+}
+
+// Section 4.2's fairness observation: "Heavy workloads favor the fair tape
+// switching policies of round-robin and oldest request, which tend to
+// prevent unlucky requests from incurring excessive delays waiting for
+// their tape to be processed." Greedy max-bandwidth wins slightly on the
+// mean; the fair policies win clearly on the tail.
+func TestQ2FairPoliciesProtectTheTail(t *testing.T) {
+	run := func(a tapejuke.Algorithm) *tapejuke.Result {
+		cfg := claimCfg()
+		cfg.Algorithm = a
+		cfg.QueueLength = 140
+		return mustRun(t, cfg)
+	}
+	greedy := run(tapejuke.DynamicMaxBandwidth)
+	for _, fair := range []tapejuke.Algorithm{
+		tapejuke.DynamicRoundRobin, tapejuke.DynamicOldestMaxRequests,
+	} {
+		res := run(fair)
+		if res.MaxResponseSec >= greedy.MaxResponseSec {
+			t.Errorf("%s max response %.0f should beat greedy %.0f at heavy load",
+				fair, res.MaxResponseSec, greedy.MaxResponseSec)
+		}
+		if res.P95ResponseSec >= greedy.P95ResponseSec {
+			t.Errorf("%s p95 %.0f should beat greedy %.0f at heavy load",
+				fair, res.P95ResponseSec, greedy.P95ResponseSec)
+		}
+	}
+}
+
+// Question 3: without replication, hot data belongs at the beginning of the
+// tape (SP-0 beats SP-1), and a vertical layout is best at moderate load.
+func TestQ3HotPlacementNoReplication(t *testing.T) {
+	cfg := claimCfg()
+	cfg.StartPos = 0
+	begin := mustRun(t, cfg)
+	cfg.StartPos = 1
+	end := mustRun(t, cfg)
+	if begin.ThroughputKBps <= end.ThroughputKBps {
+		t.Errorf("SP-0 (%.0f KB/s) should beat SP-1 (%.0f KB/s) without replication",
+			begin.ThroughputKBps, end.ThroughputKBps)
+	}
+	cfg = claimCfg()
+	cfg.Placement = tapejuke.Vertical
+	vertical := mustRun(t, cfg)
+	if vertical.ThroughputKBps <= begin.ThroughputKBps {
+		t.Errorf("vertical (%.0f KB/s) should beat horizontal SP-0 (%.0f KB/s) at moderate load",
+			vertical.ThroughputKBps, begin.ThroughputKBps)
+	}
+}
+
+// Question 4: more replicas give better performance; full replication buys
+// roughly 18% more requests per minute and cuts tape switches by about 20%.
+func TestQ4Replication(t *testing.T) {
+	run := func(nr int) *tapejuke.Result {
+		cfg := claimCfg()
+		cfg.Placement = tapejuke.Vertical
+		cfg.Replicas = nr
+		if nr > 0 {
+			cfg.StartPos = 1
+		}
+		return mustRun(t, cfg)
+	}
+	none, half, full := run(0), run(4), run(9)
+	if half.RequestsPerMinute <= none.RequestsPerMinute {
+		t.Errorf("NR-4 (%.3f req/min) should beat NR-0 (%.3f)",
+			half.RequestsPerMinute, none.RequestsPerMinute)
+	}
+	if full.RequestsPerMinute <= half.RequestsPerMinute {
+		t.Errorf("NR-9 (%.3f req/min) should beat NR-4 (%.3f)",
+			full.RequestsPerMinute, half.RequestsPerMinute)
+	}
+	gain := full.RequestsPerMinute/none.RequestsPerMinute - 1
+	if gain < 0.08 || gain > 0.45 {
+		t.Errorf("full-replication gain = %.0f%%, paper reports about 18%%", gain*100)
+	}
+	switchDrop := 1 - float64(full.TapeSwitches)/float64(none.TapeSwitches)
+	if switchDrop < 0.10 {
+		t.Errorf("tape switches dropped %.0f%%, paper reports about 20%%", switchDrop*100)
+	}
+}
+
+// Question 5: with replication, hot data and replicas belong at the END of
+// the tape -- the reverse of the no-replication answer.
+func TestQ5ReplicaPlacement(t *testing.T) {
+	run := func(sp float64) *tapejuke.Result {
+		cfg := claimCfg()
+		cfg.Placement = tapejuke.Vertical
+		cfg.Replicas = 9
+		cfg.StartPos = sp
+		return mustRun(t, cfg)
+	}
+	begin, end := run(0), run(1)
+	if end.ThroughputKBps <= begin.ThroughputKBps {
+		t.Errorf("with full replication SP-1 (%.0f KB/s) should beat SP-0 (%.0f KB/s)",
+			end.ThroughputKBps, begin.ThroughputKBps)
+	}
+	if end.MeanResponseSec >= begin.MeanResponseSec {
+		t.Errorf("with full replication SP-1 delay (%.0f s) should beat SP-0 (%.0f s)",
+			end.MeanResponseSec, begin.MeanResponseSec)
+	}
+}
+
+// Question 6: with replication, the max-bandwidth envelope algorithm beats
+// the dynamic max-bandwidth algorithm (paper: ~6% throughput, ~5% delay).
+func TestQ6EnvelopeWithReplication(t *testing.T) {
+	run := func(a tapejuke.Algorithm) *tapejuke.Result {
+		cfg := claimCfg()
+		cfg.Algorithm = a
+		cfg.Placement = tapejuke.Vertical
+		cfg.Replicas = 9
+		cfg.StartPos = 1
+		return mustRun(t, cfg)
+	}
+	dyn := run(tapejuke.DynamicMaxBandwidth)
+	env := run(tapejuke.EnvelopeMaxBandwidth)
+	if env.ThroughputKBps <= dyn.ThroughputKBps {
+		t.Errorf("envelope (%.1f KB/s) should beat dynamic (%.1f KB/s) under replication",
+			env.ThroughputKBps, dyn.ThroughputKBps)
+	}
+	if env.MeanResponseSec >= dyn.MeanResponseSec {
+		t.Errorf("envelope delay (%.0f s) should beat dynamic (%.0f s) under replication",
+			env.MeanResponseSec, dyn.MeanResponseSec)
+	}
+}
+
+// Question 7: increasing skew uniformly improves throughput and delay, and
+// full replication beats no replication across skews.
+func TestQ7Skew(t *testing.T) {
+	run := func(rh float64, full bool) *tapejuke.Result {
+		cfg := claimCfg()
+		cfg.Algorithm = tapejuke.EnvelopeMaxBandwidth
+		cfg.ReadHotPercent = rh
+		if full {
+			cfg.Placement = tapejuke.Vertical
+			cfg.Replicas = 9
+			cfg.StartPos = 1
+		}
+		return mustRun(t, cfg)
+	}
+	prev := 0.0
+	for _, rh := range []float64{20, 50, 80} {
+		res := run(rh, true)
+		if res.ThroughputKBps <= prev {
+			t.Errorf("RH-%.0f throughput %.1f did not improve on %.1f", rh, res.ThroughputKBps, prev)
+		}
+		prev = res.ThroughputKBps
+	}
+	for _, rh := range []float64{40, 80} {
+		none, full := run(rh, false), run(rh, true)
+		if full.ThroughputKBps <= none.ThroughputKBps {
+			t.Errorf("RH-%.0f: full replication (%.1f) should beat none (%.1f)",
+				rh, full.ThroughputKBps, none.ThroughputKBps)
+		}
+	}
+}
+
+// The paper asserts its conclusions are "qualitatively independent of the
+// particular bandwidth and capacity of the tape system modeled" (Section
+// 6). Re-run the two headline comparisons on the hypothetical fast drive.
+func TestConclusionsHoldOnFastDrive(t *testing.T) {
+	run := func(mut func(*tapejuke.Config)) *tapejuke.Result {
+		cfg := claimCfg()
+		cfg.DriveProfile = "fast"
+		mut(&cfg)
+		return mustRun(t, cfg)
+	}
+	// Replication still beats none.
+	none := run(func(c *tapejuke.Config) {})
+	full := run(func(c *tapejuke.Config) {
+		c.Placement = tapejuke.Vertical
+		c.Replicas = 9
+		c.StartPos = 1
+	})
+	if full.ThroughputKBps <= none.ThroughputKBps {
+		t.Errorf("fast drive: replication %.1f should beat none %.1f",
+			full.ThroughputKBps, none.ThroughputKBps)
+	}
+	// The envelope still beats plain dynamic under replication.
+	env := run(func(c *tapejuke.Config) {
+		c.Algorithm = tapejuke.EnvelopeMaxBandwidth
+		c.Placement = tapejuke.Vertical
+		c.Replicas = 9
+		c.StartPos = 1
+	})
+	if env.ThroughputKBps <= full.ThroughputKBps {
+		t.Errorf("fast drive: envelope %.1f should beat dynamic %.1f",
+			env.ThroughputKBps, full.ThroughputKBps)
+	}
+}
+
+// The paper's recurring open-queuing observation (Sections 4.2, 4.4, 4.7):
+// at high load under Poisson arrivals, the choice of algorithm has little
+// effect on throughput -- only on delay.
+func TestOpenModelSchedulerMovesLatencyOnly(t *testing.T) {
+	run := func(a tapejuke.Algorithm) *tapejuke.Result {
+		cfg := claimCfg()
+		cfg.Algorithm = a
+		cfg.QueueLength = 0
+		cfg.MeanInterarrivalSec = 60 // beyond the drive's service capacity
+		cfg.Placement = tapejuke.Vertical
+		cfg.Replicas = 9
+		cfg.StartPos = 1
+		return mustRun(t, cfg)
+	}
+	dyn := run(tapejuke.DynamicMaxBandwidth)
+	env := run(tapejuke.EnvelopeMaxBandwidth)
+	tpDelta := env.ThroughputKBps/dyn.ThroughputKBps - 1
+	if tpDelta < -0.02 || tpDelta > 0.02 {
+		t.Errorf("saturated open throughput moved %.1f%% with the scheduler; should be flat", tpDelta*100)
+	}
+	if env.MeanResponseSec >= dyn.MeanResponseSec {
+		t.Errorf("envelope delay %.0f should beat dynamic %.0f under saturation",
+			env.MeanResponseSec, dyn.MeanResponseSec)
+	}
+}
+
+// Question 8: replication improves performance per dollar only for high
+// skews; at moderate skew the cost-performance ratio is near (or below)
+// one, at high skew clearly above one.
+func TestQ8CostEffectiveness(t *testing.T) {
+	ratioAt := func(rh float64) float64 {
+		base := claimCfg()
+		base.Algorithm = tapejuke.EnvelopeMaxBandwidth
+		base.ReadHotPercent = rh
+		baseline := mustRun(t, base)
+
+		repl := base
+		repl.Placement = tapejuke.Vertical
+		repl.Replicas = 9
+		repl.StartPos = 1
+		q, err := tapejuke.ScaledQueueLength(base.QueueLength, repl.ExpansionFactor())
+		if err != nil {
+			t.Fatal(err)
+		}
+		repl.QueueLength = q
+		r, err := tapejuke.CostPerformanceRatio(mustRun(t, repl), baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	moderate := ratioAt(40)
+	high := ratioAt(90)
+	if moderate > 1.08 {
+		t.Errorf("moderate-skew cost-performance = %.3f, paper reports around or below 1", moderate)
+	}
+	if high < 1.05 {
+		t.Errorf("high-skew cost-performance = %.3f, paper reports a clear benefit (~1.1)", high)
+	}
+	if high <= moderate {
+		t.Errorf("cost-performance should grow with skew: moderate %.3f, high %.3f", moderate, high)
+	}
+}

@@ -1,0 +1,56 @@
+package tapejuke
+
+import "testing"
+
+func TestWritesThroughPublicAPI(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Writes = WriteConfig{
+		MeanInterarrivalSec: 400,
+		Policy:              WritePiggyback,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WritesFlushed == 0 {
+		t.Error("no writes flushed")
+	}
+	if res.Completed == 0 {
+		t.Error("reads starved")
+	}
+}
+
+func TestWritePolicyValidation(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Writes = WriteConfig{MeanInterarrivalSec: 400, Policy: "sideways"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("bogus write policy accepted")
+	}
+	// Zero interarrival: extension disabled, policy ignored.
+	cfg.Writes = WriteConfig{Policy: "sideways"}
+	if _, err := Run(cfg); err != nil {
+		t.Errorf("disabled write config rejected: %v", err)
+	}
+}
+
+func TestObserverThroughPublicAPI(t *testing.T) {
+	cfg := shortCfg()
+	reads := 0
+	var lastTime float64
+	cfg.Observer = ObserverFunc(func(ev Event) {
+		if ev.Time < lastTime {
+			t.Errorf("events out of order: %v after %v", ev.Time, lastTime)
+		}
+		lastTime = ev.Time
+		if ev.Kind == EventRead {
+			reads++
+		}
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(reads) != res.TotalCompleted {
+		t.Errorf("observed %d reads, completed %d", reads, res.TotalCompleted)
+	}
+}
