@@ -63,12 +63,16 @@ func BenchmarkFig9Skew(b *testing.B)             { runFigure(b, figures.Fig9) }
 func BenchmarkFig10aExpansion(b *testing.B)      { runFigure(b, figures.Fig10a) }
 func BenchmarkFig10bCostPerf(b *testing.B)       { runFigure(b, figures.Fig10b) }
 
-// benchRun measures one full simulation at the given configuration.
+// benchRun measures one full simulation at the given configuration. The
+// seed is fixed so every b.N iteration simulates the same workload: with a
+// per-iteration seed, ns/op would average over different workloads and the
+// KB/s metric (reported from the last iteration only) would not be
+// comparable across runs.
 func benchRun(b *testing.B, mutate func(*tapejuke.Config)) {
 	b.Helper()
 	var last *tapejuke.Result
 	for i := 0; i < b.N; i++ {
-		cfg := tapejuke.Config{HorizonSec: 100_000, Seed: int64(i + 1)}.WithDefaults()
+		cfg := tapejuke.Config{HorizonSec: 100_000, Seed: 1}.WithDefaults()
 		if mutate != nil {
 			mutate(&cfg)
 		}

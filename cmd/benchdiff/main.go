@@ -1,0 +1,210 @@
+// Command benchdiff records `go test -bench` results into a JSON perf
+// trajectory file and compares runs against a recorded baseline.
+//
+// It parses standard benchmark output lines:
+//
+//	BenchmarkEnvelopeReschedule/q=140-8   139272   9219 ns/op   184 B/op   3 allocs/op
+//
+// including custom metrics (KB/s, requests), and appends one labelled
+// entry per invocation to the JSON file (replacing any previous entry with
+// the same label, so re-runs update in place):
+//
+//	go test -run '^$' -bench . -benchmem ./internal/core | \
+//	    benchdiff -in - -json BENCH_sched.json -label post-PR1
+//
+// With -compare LABEL it prints a delta table against the entry recorded
+// under LABEL and exits non-zero when any benchmark's ns/op regressed by
+// more than -threshold (default 1.20, i.e. 20%). scripts/bench.sh wires
+// this into the repo's pre-merge routine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result holds one benchmark's parsed measurements.
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Entry is one labelled benchmark run.
+type Entry struct {
+	Label      string            `json:"label"`
+	Date       string            `json:"date"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// File is the on-disk trajectory: a sequence of labelled runs.
+type File struct {
+	Entries []Entry `json:"entries"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	in := flag.String("in", "-", "benchmark output to parse (file path or - for stdin)")
+	jsonPath := flag.String("json", "BENCH_sched.json", "JSON trajectory file to update")
+	label := flag.String("label", "", "label for this run (required)")
+	compare := flag.String("compare", "", "baseline label to diff against")
+	threshold := flag.Float64("threshold", 1.20, "ns/op regression factor that fails the run")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -label is required")
+		os.Exit(2)
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	benchmarks, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in %s", *in))
+	}
+
+	file := &File{}
+	if raw, err := os.ReadFile(*jsonPath); err == nil {
+		if err := json.Unmarshal(raw, file); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *jsonPath, err))
+		}
+	} else if !os.IsNotExist(err) {
+		fatal(err)
+	}
+
+	entry := Entry{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: benchmarks,
+	}
+	replaced := false
+	for i := range file.Entries {
+		if file.Entries[i].Label == *label {
+			file.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		file.Entries = append(file.Entries, entry)
+	}
+	out, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchdiff: recorded %d benchmarks under %q in %s\n", len(benchmarks), *label, *jsonPath)
+
+	if *compare == "" {
+		return
+	}
+	var base *Entry
+	for i := range file.Entries {
+		if file.Entries[i].Label == *compare {
+			base = &file.Entries[i]
+			break
+		}
+	}
+	if base == nil {
+		fatal(fmt.Errorf("no entry labelled %q in %s", *compare, *jsonPath))
+	}
+	if regressed := diff(base, &entry, *threshold); regressed {
+		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.2fx against %q\n", *threshold, *compare)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark results from go test -bench output.
+func parse(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		out[m[1]] = res
+	}
+	return out, sc.Err()
+}
+
+// diff prints a delta table and reports whether any common benchmark's
+// ns/op regressed beyond the threshold factor.
+func diff(base, cur *Entry, threshold float64) bool {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	regressed := false
+	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", base.Label, cur.Label, "ratio")
+	for _, name := range names {
+		b, c := base.Benchmarks[name], cur.Benchmarks[name]
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		mark := ""
+		if ratio > threshold {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("%-50s %12.0fns %12.0fns %7.2fx%s\n", name, b.NsPerOp, c.NsPerOp, ratio, mark)
+	}
+	return regressed
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

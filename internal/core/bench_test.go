@@ -54,6 +54,38 @@ func BenchmarkEnvelopeReschedule140(b *testing.B) {
 	}
 }
 
+// BenchmarkEnvelopeReschedule exercises the pure major-reschedule path
+// (envelope construction, tape selection, request extraction) without the
+// simulation engine, across the queue lengths of the paper's figures and
+// full replication. Allocations are reported so the steady-state
+// reschedule's allocation profile is tracked by scripts/bench.sh.
+func BenchmarkEnvelopeReschedule(b *testing.B) {
+	cases := []struct {
+		name string
+		q    int // pending queue length
+		nr   int // replicas per hot block
+	}{
+		{"q=60", 60, 4},
+		{"q=140", 140, 4},
+		{"repl=9", 60, 9},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			st, saved := benchEnvelopeState(b, tc.q, tc.nr)
+			e := NewEnvelope(MaxBandwidth)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, ok := e.Reschedule(st); !ok {
+					b.Fatal("reschedule failed")
+				}
+				st.Pending = st.Pending[:0]
+				st.Pending = append(st.Pending, saved...)
+			}
+		})
+	}
+}
+
 func BenchmarkEnvelopeOnArrival(b *testing.B) {
 	st, _ := benchEnvelopeState(b, 60, 9)
 	e := NewEnvelope(MaxBandwidth)

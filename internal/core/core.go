@@ -58,9 +58,22 @@ func (v Variant) String() string {
 // Envelope is the envelope-extension scheduler. It satisfies
 // sched.Scheduler. With no replicated data it degenerates into the dynamic
 // algorithm with the same policy, as the paper observes.
+//
+// An Envelope reuses its builder and selection scratch buffers across
+// reschedules, so the steady-state major-reschedule path is allocation-free
+// apart from the sweep handed back to the engine.
 type Envelope struct {
 	variant Variant
 	env     []int // upper envelope from the last major reschedule, per tape
+
+	b *builder // reusable envelope construction state
+
+	// Reusable selection/extraction scratch.
+	sets      [][]*sched.Request // selectTape: per-tape in-envelope requests
+	positions []int              // selectTape: candidate positions
+	order     []int              // selectTape: sweep-ordered positions
+	oldestOn  []bool             // selectTape: tapes covering the oldest request
+	reqsBuf   []*sched.Request   // Reschedule: extracted requests
 }
 
 // NewEnvelope returns the envelope-extension scheduler with the given
@@ -86,8 +99,15 @@ func (e *Envelope) Reschedule(st *sched.State) (int, *sched.Sweep, bool) {
 	if len(st.Pending) == 0 {
 		return 0, nil, false
 	}
-	env := computeUpperEnvelope(st)
-	e.env = env
+	if e.b == nil {
+		e.b = &builder{}
+	}
+	e.b.reset(st)
+	e.b.build()
+	// Copy the envelope out of the builder: e.env must survive (OnArrival
+	// mutates it) while the builder is reset by the next reschedule.
+	e.env = append(e.env[:0], e.b.env...)
+	env := e.env
 
 	tape, ok := e.selectTape(st, env)
 	if !ok {
@@ -97,13 +117,14 @@ func (e *Envelope) Reschedule(st *sched.State) (int, *sched.Sweep, bool) {
 	// (in general a superset of the per-tape schedule built during envelope
 	// construction -- replicated requests assigned elsewhere may also have
 	// an in-envelope copy here).
-	var reqs []*sched.Request
+	reqs := e.reqsBuf[:0]
 	for _, r := range st.Pending {
 		if c, in := replicaInside(st, r, tape, env); in {
 			r.Target = c
 			reqs = append(reqs, r)
 		}
 	}
+	e.reqsBuf = reqs[:0]
 	if len(reqs) == 0 {
 		return 0, nil, false
 	}
@@ -161,10 +182,21 @@ func replicaInside(st *sched.State, r *sched.Request, tape int, env []int) (layo
 }
 
 // selectTape applies the variant's tape-switch policy to the per-tape sets
-// of requests satisfiable within the upper envelope.
+// of requests satisfiable within the upper envelope. The per-tape sets and
+// position buffers live on the Envelope and are reused across reschedules.
 func (e *Envelope) selectTape(st *sched.State, env []int) (int, bool) {
 	n := st.Layout.Tapes()
-	sets := make([][]*sched.Request, n)
+	if cap(e.sets) < n {
+		grown := make([][]*sched.Request, n)
+		copy(grown, e.sets)
+		e.sets = grown
+	} else {
+		e.sets = e.sets[:n]
+	}
+	sets := e.sets
+	for t := range sets {
+		sets[t] = sets[t][:0]
+	}
 	for _, r := range st.Pending {
 		for _, c := range st.Layout.Replicas(r.Block) {
 			if c.Pos+1 <= env[c.Tape] {
@@ -175,9 +207,16 @@ func (e *Envelope) selectTape(st *sched.State, env []int) (int, bool) {
 
 	candidate := func(t int) bool { return len(sets[t]) > 0 && st.Available(t) }
 	if e.variant == OldestRequest {
-		oldest := st.Pending[0]
-		onTape := make(map[int]bool)
-		for _, c := range st.Layout.Replicas(oldest.Block) {
+		if cap(e.oldestOn) < n {
+			e.oldestOn = make([]bool, n)
+		} else {
+			e.oldestOn = e.oldestOn[:n]
+		}
+		onTape := e.oldestOn
+		for t := range onTape {
+			onTape[t] = false
+		}
+		for _, c := range st.Layout.Replicas(st.Pending[0].Block) {
 			if c.Pos+1 <= env[c.Tape] {
 				onTape[c.Tape] = true
 			}
@@ -192,14 +231,15 @@ func (e *Envelope) selectTape(st *sched.State, env []int) (int, bool) {
 		}
 		var score float64
 		if e.variant == MaxBandwidth {
-			positions := make([]int, len(sets[t]))
-			for i, r := range sets[t] {
+			positions := e.positions[:0]
+			for _, r := range sets[t] {
 				c, _ := st.Layout.ReplicaOn(r.Block, t)
-				positions[i] = c.Pos
+				positions = append(positions, c.Pos)
 			}
+			e.positions = positions[:0]
 			startHead := st.StartHead(t)
-			order := sweepOrderInts(positions, startHead)
-			score = st.Costs.EffectiveBandwidth(st.Mounted, st.Head, t, startHead, order)
+			e.order = sweepOrderInto(e.order, positions, startHead)
+			score = st.Costs.EffectiveBandwidth(st.Mounted, st.Head, t, startHead, e.order)
 		} else {
 			score = float64(len(sets[t]))
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"tapejuke/internal/layout"
@@ -9,17 +10,48 @@ import (
 
 // builder carries the working state of the upper-envelope computation
 // (steps 1-6 of the major rescheduler, Section 3.2).
+//
+// This is the optimized builder: each tape's extension list is built once
+// per reschedule (position-sorted) and maintained incrementally as
+// requests are scheduled, and the step-3 prefix-bandwidth evaluation is
+// cached per tape and recomputed only for tapes whose envelope or
+// candidate set changed since the previous iteration. A builder is
+// reusable across reschedules via reset, so steady-state reschedules are
+// allocation-free. envelope_ref.go retains the naive construction; the
+// differential test asserts both produce bit-identical results.
 type builder struct {
 	st    *sched.State
 	env   []int            // envelope boundary per tape (block boundary)
 	count []int            // number of scheduled requests per tape
 	where []layout.Replica // assigned copy per request index, Tape=-1 if unscheduled
 	reqs  []*sched.Request // st.Pending snapshot
-	onT   [][]int          // request indices scheduled on each tape
+	onT   [][]int          // request indices scheduled on each tape (unordered)
 
 	// Snapshot of the schedule S1 at the end of step 2, kept so tests can
 	// check the Theorem 2 bound on the extension cost C(S2) - C(S1).
 	s1Where []layout.Replica
+
+	unsched int // maintained count of unscheduled requests (where[i].Tape < 0)
+
+	// Incremental step-3 state. ext[t] holds tape t's candidate extension
+	// list: unscheduled requests with a copy on t, sorted by (position,
+	// request index). Entries whose request has since been scheduled are
+	// tombstones, compacted away on the next refresh. bw[t] caches the
+	// incremental bandwidth of every prefix of ext[t]; it is valid exactly
+	// when dirty[t] is false (no tombstones and env[t] unchanged since the
+	// last refresh).
+	ext   [][]extEntry
+	bw    [][]float64
+	dirty []bool
+
+	prefix []int            // scratch: chosen prefix, request indices
+	cands  []layout.Replica // scratch for insideChoice
+}
+
+// extEntry is one candidate in a tape's extension list.
+type extEntry struct {
+	req int // index into builder.reqs
+	pos int // the copy's position on the list's tape
 }
 
 // computeUpperEnvelope runs the envelope-extension construction over the
@@ -34,22 +66,54 @@ func computeUpperEnvelope(st *sched.State) []int {
 // buildEnvelope runs steps 1-6 and returns the full builder state,
 // including the S1 snapshot and the final assignments.
 func buildEnvelope(st *sched.State) *builder {
-	b := &builder{
-		st:    st,
-		env:   make([]int, st.Layout.Tapes()),
-		count: make([]int, st.Layout.Tapes()),
-		reqs:  st.Pending,
-		onT:   make([][]int, st.Layout.Tapes()),
+	b := &builder{}
+	b.reset(st)
+	b.build()
+	return b
+}
+
+// reset prepares the builder for a fresh construction over st, reusing
+// every previously allocated buffer.
+func (b *builder) reset(st *sched.State) {
+	tapes := st.Layout.Tapes()
+	n := len(st.Pending)
+	b.st = st
+	b.reqs = st.Pending
+	b.env = resetInts(b.env, tapes)
+	b.count = resetInts(b.count, tapes)
+	b.unsched = n
+
+	if cap(b.where) < n {
+		b.where = make([]layout.Replica, n)
+	} else {
+		b.where = b.where[:n]
 	}
-	b.where = make([]layout.Replica, len(b.reqs))
 	for i := range b.where {
-		b.where[i].Tape = -1
+		b.where[i] = layout.Replica{Tape: -1}
 	}
 
+	b.onT = resetRowsInt(b.onT, tapes)
+	b.ext = resetRowsExt(b.ext, tapes)
+	b.bw = resetRowsFloat(b.bw, tapes)
+	if cap(b.dirty) < tapes {
+		b.dirty = make([]bool, tapes)
+	} else {
+		b.dirty = b.dirty[:tapes]
+	}
+	for t := range b.dirty {
+		b.dirty[t] = true
+	}
+	b.s1Where = b.s1Where[:0]
+	b.prefix = b.prefix[:0]
+}
+
+// build runs steps 1-6 over the state set by reset.
+func (b *builder) build() {
 	b.initialEnvelope() // step 1
 	b.absorb()          // step 2
-	b.s1Where = append([]layout.Replica(nil), b.where...)
-	for b.unscheduledCount() > 0 {
+	b.s1Where = append(b.s1Where[:0], b.where...)
+	b.initExtensions()
+	for b.unsched > 0 {
 		tape, prefix := b.bestExtension() // steps 3-4: choose prefix
 		if tape < 0 {
 			break // defensive: cannot happen while requests have replicas
@@ -57,7 +121,6 @@ func buildEnvelope(st *sched.State) *builder {
 		b.extend(tape, prefix) // step 4: extend envelope
 		b.shrink()             // step 5: shrink envelopes
 	} // step 6: iterate
-	return b
 }
 
 // initialEnvelope sets each tape's envelope to the head position after
@@ -97,12 +160,13 @@ func (b *builder) absorb() {
 // insideChoice picks the copy of request i to absorb, among copies inside
 // the current envelope.
 func (b *builder) insideChoice(i int) (layout.Replica, bool) {
-	var cands []layout.Replica
+	cands := b.cands[:0]
 	for _, c := range b.st.Layout.Replicas(b.reqs[i].Block) {
 		if c.Pos+1 <= b.env[c.Tape] {
 			cands = append(cands, c)
 		}
 	}
+	b.cands = cands[:0]
 	if len(cands) == 0 {
 		return layout.Replica{}, false
 	}
@@ -134,69 +198,125 @@ func (b *builder) jukeboxRank(tape int) int {
 }
 
 func (b *builder) assign(i int, c layout.Replica) {
+	if b.where[i].Tape < 0 {
+		b.unsched--
+	}
 	b.where[i] = c
 	b.count[c.Tape]++
 	b.onT[c.Tape] = append(b.onT[c.Tape], i)
 }
 
+// unassign removes request i from its tape by swap-delete. onT ordering is
+// not relied upon anywhere: its only consumer, shrinkMove, scans for the
+// maximum and second-maximum assigned positions by value, so the O(1)
+// swap-delete replaces the previous O(n) in-place splice.
 func (b *builder) unassign(i int) {
 	c := b.where[i]
 	b.where[i].Tape = -1
+	b.unsched++
 	b.count[c.Tape]--
 	list := b.onT[c.Tape]
 	for k, idx := range list {
 		if idx == i {
-			b.onT[c.Tape] = append(list[:k], list[k+1:]...)
+			last := len(list) - 1
+			list[k] = list[last]
+			b.onT[c.Tape] = list[:last]
 			break
 		}
 	}
 }
 
-func (b *builder) unscheduledCount() int {
-	n := 0
-	for i := range b.where {
-		if b.where[i].Tape < 0 {
-			n++
-		}
+// initExtensions builds every tape's extension list exactly once per
+// reschedule: the unscheduled requests (after step 2) with a copy on the
+// tape, sorted by position with ties (duplicate requests for one block) by
+// request index. From here on the lists only lose members, so they are
+// never re-sorted; scheduling a request tombstones its entries, compacted
+// by the next per-tape refresh.
+func (b *builder) initExtensions() {
+	for t := range b.ext {
+		b.ext[t] = b.ext[t][:0]
+		b.dirty[t] = true
 	}
-	return n
-}
-
-// bestExtension performs step 3: for every tape, form the extension list of
-// unscheduled requests satisfiable by that tape (sorted by position) and
-// compute the incremental bandwidth of each prefix; return the tape and
-// prefix with the highest incremental bandwidth. Ties prefer the tape with
-// the most scheduled requests inside the envelope, then jukebox order.
-func (b *builder) bestExtension() (int, []int) {
-	bestTape := -1
-	var bestPrefix []int
-	bestBW := -1.0
-	for t := 0; t < b.st.Layout.Tapes(); t++ {
-		ext := b.extensionList(t)
-		if len(ext) == 0 {
+	for i := range b.reqs {
+		if b.where[i].Tape >= 0 {
 			continue
 		}
-		// Evaluate every prefix with a cumulative cost scan.
-		head := b.env[t]
-		cum := 0.0
-		for j, idx := range ext {
-			pos := mustReplicaOn(b.st.Layout, b.reqs[idx].Block, t).Pos
-			step, h := b.st.Costs.ServeOne(head, pos)
-			cum += step
-			head = h
-			total := cum + locateBack(b.st.Costs, head, b.env[t])
-			if b.env[t] == 0 && t != b.st.Mounted {
-				total += b.st.Costs.Prof.SwitchTime()
+		for _, c := range b.st.Layout.Replicas(b.reqs[i].Block) {
+			b.ext[c.Tape] = append(b.ext[c.Tape], extEntry{req: i, pos: c.Pos})
+		}
+	}
+	for t := range b.ext {
+		slices.SortFunc(b.ext[t], func(x, y extEntry) int {
+			if x.pos != y.pos {
+				return x.pos - y.pos
 			}
-			bw := float64(j+1) * b.st.Costs.BlockMB / total
+			return x.req - y.req
+		})
+	}
+}
+
+// refresh compacts tape t's extension list (dropping entries whose request
+// has been scheduled; compaction preserves the sorted order) and
+// recomputes the cached incremental bandwidth of every prefix with one
+// cumulative cost scan.
+func (b *builder) refresh(t int) {
+	live := b.ext[t][:0]
+	for _, e := range b.ext[t] {
+		if b.where[e.req].Tape < 0 {
+			live = append(live, e)
+		}
+	}
+	b.ext[t] = live
+
+	bw := b.bw[t][:0]
+	head := b.env[t]
+	cum := 0.0
+	for j, e := range live {
+		step, h := b.st.Costs.ServeOne(head, e.pos)
+		cum += step
+		head = h
+		total := cum + locateBack(b.st.Costs, head, b.env[t])
+		if b.env[t] == 0 && t != b.st.Mounted {
+			total += b.st.Costs.Prof.SwitchTime()
+		}
+		bw = append(bw, float64(j+1)*b.st.Costs.BlockMB/total)
+	}
+	b.bw[t] = bw
+	b.dirty[t] = false
+}
+
+// bestExtension performs step 3: across every tape's extension list,
+// return the tape and prefix with the highest incremental bandwidth. Ties
+// prefer the tape with the most scheduled requests inside the envelope,
+// then jukebox order. Only tapes whose envelope or candidate set changed
+// since the previous iteration are re-evaluated; the rest reuse their
+// cached prefix bandwidths, so the comparison sequence (and hence every
+// tie-break) is identical to the reference implementation's full rescan.
+func (b *builder) bestExtension() (int, []int) {
+	tapes := b.st.Layout.Tapes()
+	for t := 0; t < tapes; t++ {
+		if b.dirty[t] {
+			b.refresh(t)
+		}
+	}
+	bestTape, bestJ := -1, -1
+	bestBW := -1.0
+	for t := 0; t < tapes; t++ {
+		for j, bw := range b.bw[t] {
 			if bw > bestBW+1e-12 ||
 				(bw > bestBW-1e-12 && bestTape >= 0 && b.betterTie(t, bestTape)) {
-				bestTape, bestBW = t, bw
-				bestPrefix = append(bestPrefix[:0], ext[:j+1]...)
+				bestTape, bestJ, bestBW = t, j, bw
 			}
 		}
 	}
-	return bestTape, bestPrefix
+	if bestTape < 0 {
+		return -1, nil
+	}
+	b.prefix = b.prefix[:0]
+	for _, e := range b.ext[bestTape][:bestJ+1] {
+		b.prefix = append(b.prefix, e.req)
+	}
+	return bestTape, b.prefix
 }
 
 // betterTie reports whether tape a beats tape c on the step-4 tie-break.
@@ -207,37 +327,22 @@ func (b *builder) betterTie(a, c int) bool {
 	return b.jukeboxRank(a) < b.jukeboxRank(c)
 }
 
-// extensionList returns the indices of unscheduled requests with a copy on
-// tape t, sorted by that copy's position. (All copies of unscheduled
-// requests lie outside the envelope: anything inside was absorbed.)
-func (b *builder) extensionList(t int) []int {
-	var out []int
-	for i := range b.reqs {
-		if b.where[i].Tape >= 0 {
-			continue
-		}
-		if _, ok := b.st.Layout.ReplicaOn(b.reqs[i].Block, t); ok {
-			out = append(out, i)
-		}
-	}
-	sort.Slice(out, func(x, y int) bool {
-		px := mustReplicaOn(b.st.Layout, b.reqs[out[x]].Block, t).Pos
-		py := mustReplicaOn(b.st.Layout, b.reqs[out[y]].Block, t).Pos
-		return px < py
-	})
-	return out
-}
-
 // extend performs step 4: schedule the chosen prefix on the tape and push
-// the envelope out to cover it.
+// the envelope out to cover it. Every tape holding a copy of a newly
+// scheduled request is marked dirty (the request leaves its candidate
+// list), as is the extended tape itself (its envelope moved).
 func (b *builder) extend(tape int, prefix []int) {
 	for _, i := range prefix {
 		c := mustReplicaOn(b.st.Layout, b.reqs[i].Block, tape)
+		for _, cc := range b.st.Layout.Replicas(b.reqs[i].Block) {
+			b.dirty[cc.Tape] = true
+		}
 		b.assign(i, c)
 		if c.Pos+1 > b.env[tape] {
 			b.env[tape] = c.Pos + 1
 		}
 	}
+	b.dirty[tape] = true
 }
 
 // shrink performs step 5: while some replicated request scheduled at the
@@ -324,7 +429,10 @@ func (b *builder) relocation(a, edge int) (layout.Replica, bool) {
 }
 
 // shrinkOne moves tape a's edge request elsewhere and pulls the envelope
-// back to the next scheduled request (or the mounted head / zero).
+// back to the next scheduled request (or the mounted head / zero). The
+// moved request stays scheduled throughout (unassign immediately followed
+// by assign), so no extension list changes; only tape a's envelope moved,
+// so only tape a's prefix-bandwidth cache is invalidated.
 func (b *builder) shrinkOne(a int) {
 	edge, newEnv, ok := b.shrinkMove(a)
 	if !ok {
@@ -334,6 +442,7 @@ func (b *builder) shrinkOne(a int) {
 	b.unassign(edge)
 	b.assign(edge, c)
 	b.env[a] = newEnv
+	b.dirty[a] = true
 }
 
 // mustReplicaOn is ReplicaOn for copies known to exist.
@@ -376,16 +485,84 @@ func extensionCost(st *sched.State, env, tape int, positions []int) float64 {
 // given head: ascending positions at or above the head, then descending
 // positions below it.
 func sweepOrderInts(positions []int, head int) []int {
-	fwd := make([]int, 0, len(positions))
-	var rev []int
+	return sweepOrderInto(nil, positions, head)
+}
+
+// sweepOrderInto is sweepOrderInts writing into a reusable buffer.
+func sweepOrderInto(dst, positions []int, head int) []int {
+	dst = dst[:0]
 	for _, p := range positions {
 		if p >= head {
-			fwd = append(fwd, p)
-		} else {
-			rev = append(rev, p)
+			dst = append(dst, p)
 		}
 	}
-	sort.Ints(fwd)
-	sort.Sort(sort.Reverse(sort.IntSlice(rev)))
-	return append(fwd, rev...)
+	sort.Ints(dst)
+	k := len(dst)
+	for _, p := range positions {
+		if p < head {
+			dst = append(dst, p)
+		}
+	}
+	tail := dst[k:]
+	sort.Ints(tail)
+	for i, j := 0, len(tail)-1; i < j; i, j = i+1, j-1 {
+		tail[i], tail[j] = tail[j], tail[i]
+	}
+	return dst
+}
+
+// resetInts returns s resized to n and zeroed, reusing capacity.
+func resetInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// resetRowsInt resizes a slice of rows to n rows, truncating each reused
+// row to length zero.
+func resetRowsInt(rows [][]int, n int) [][]int {
+	if cap(rows) < n {
+		grown := make([][]int, n)
+		copy(grown, rows)
+		rows = grown
+	} else {
+		rows = rows[:n]
+	}
+	for i := range rows {
+		rows[i] = rows[i][:0]
+	}
+	return rows
+}
+
+func resetRowsExt(rows [][]extEntry, n int) [][]extEntry {
+	if cap(rows) < n {
+		grown := make([][]extEntry, n)
+		copy(grown, rows)
+		rows = grown
+	} else {
+		rows = rows[:n]
+	}
+	for i := range rows {
+		rows[i] = rows[i][:0]
+	}
+	return rows
+}
+
+func resetRowsFloat(rows [][]float64, n int) [][]float64 {
+	if cap(rows) < n {
+		grown := make([][]float64, n)
+		copy(grown, rows)
+		rows = grown
+	} else {
+		rows = rows[:n]
+	}
+	for i := range rows {
+		rows[i] = rows[i][:0]
+	}
+	return rows
 }

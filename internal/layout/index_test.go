@@ -1,0 +1,126 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveReplicaOn is the pre-index linear scan, kept as the oracle for the
+// dense (block, tape) -> position index.
+func naiveReplicaOn(l *Layout, b BlockID, tape int) (Replica, bool) {
+	for _, r := range l.copies[b] {
+		if r.Tape == tape {
+			return r, true
+		}
+	}
+	return Replica{}, false
+}
+
+func checkIndexAgainstScan(t *testing.T, l *Layout) {
+	t.Helper()
+	for b := 0; b < l.NumBlocks(); b++ {
+		for tape := 0; tape < l.Tapes(); tape++ {
+			got, gotOK := l.ReplicaOn(BlockID(b), tape)
+			want, wantOK := naiveReplicaOn(l, BlockID(b), tape)
+			if gotOK != wantOK || got != want {
+				t.Fatalf("ReplicaOn(%d, %d) = %v,%v; scan says %v,%v",
+					b, tape, got, gotOK, want, wantOK)
+			}
+		}
+	}
+}
+
+func checkTapeContents(t *testing.T, l *Layout) {
+	t.Helper()
+	for tape := 0; tape < l.Tapes(); tape++ {
+		slots := l.TapeContents(tape)
+		// Sorted ascending and consistent with BlockAt.
+		for i, s := range slots {
+			if i > 0 && slots[i-1].Pos >= s.Pos {
+				t.Fatalf("tape %d contents not strictly ascending at %d: %v", tape, i, slots)
+			}
+			if b, ok := l.BlockAt(tape, s.Pos); !ok || b != s.Block {
+				t.Fatalf("tape %d slot %v disagrees with BlockAt (%v, %v)", tape, s, b, ok)
+			}
+		}
+		// Complete: every occupied position appears.
+		n := 0
+		for pos := 0; pos < l.TapeCap(); pos++ {
+			if _, ok := l.BlockAt(tape, pos); ok {
+				n++
+			}
+		}
+		if n != len(slots) {
+			t.Fatalf("tape %d has %d occupied positions, contents table has %d", tape, n, len(slots))
+		}
+	}
+}
+
+func TestReplicaIndexBuiltLayouts(t *testing.T) {
+	for _, cfg := range []Config{
+		{Tapes: 10, TapeCapBlocks: 448, HotPercent: 10, Replicas: 9, Kind: Vertical, StartPos: 1},
+		{Tapes: 10, TapeCapBlocks: 448, HotPercent: 10, Replicas: 4, Kind: Horizontal, StartPos: 0.5},
+		{Tapes: 4, TapeCapBlocks: 20, HotPercent: 20},
+		{Tapes: 1, TapeCapBlocks: 30, HotPercent: 0},
+	} {
+		l, err := Build(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		checkIndexAgainstScan(t, l)
+		checkTapeContents(t, l)
+	}
+}
+
+func TestReplicaIndexManualLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		tapes := 1 + rng.Intn(5)
+		blocks := 1 + rng.Intn(20)
+		// Keep per-tape capacity above the block count: every block could
+		// land on the same tape and the placement loop must terminate.
+		capBlocks := blocks + 10 + rng.Intn(50)
+		used := make(map[Replica]bool)
+		copies := make([][]Replica, blocks)
+		for b := range copies {
+			n := 1 + rng.Intn(tapes)
+			for _, tp := range rng.Perm(tapes)[:n] {
+				for {
+					c := Replica{Tape: tp, Pos: rng.Intn(capBlocks)}
+					if !used[c] {
+						used[c] = true
+						copies[b] = append(copies[b], c)
+						break
+					}
+				}
+			}
+		}
+		l, err := NewManual(tapes, capBlocks, 0, copies)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkIndexAgainstScan(t, l)
+		checkTapeContents(t, l)
+	}
+}
+
+// The scan fallback must behave identically when the dense index is
+// disabled (as for layouts past maxDenseIndex).
+func TestReplicaIndexFallback(t *testing.T) {
+	l, err := Build(Config{Tapes: 10, TapeCapBlocks: 448, HotPercent: 10, Replicas: 9, Kind: Vertical, StartPos: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed := *l
+	l.posOn = nil // force the fallback path
+	for b := 0; b < l.NumBlocks(); b++ {
+		for tape := 0; tape < l.Tapes(); tape++ {
+			got, gotOK := l.ReplicaOn(BlockID(b), tape)
+			want, wantOK := indexed.ReplicaOn(BlockID(b), tape)
+			if gotOK != wantOK || got != want {
+				t.Fatalf("fallback ReplicaOn(%d, %d) = %v,%v; index says %v,%v",
+					b, tape, got, gotOK, want, wantOK)
+			}
+		}
+	}
+}

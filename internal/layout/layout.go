@@ -77,6 +77,53 @@ type Layout struct {
 	manual  bool        // built by NewManual: replica counts are caller-chosen
 	copies  [][]Replica // indexed by BlockID; copies[b][0] is the original
 	blockAt [][]BlockID // [tape][pos] -> block, or -1 for unused positions
+
+	// posOn is a dense (block, tape) -> position index: posOn[b*Tapes+t]
+	// holds pos+1 for block b's copy on tape t, or 0 when the block has no
+	// copy there. It makes ReplicaOn an O(1) lookup on the scheduler hot
+	// path. nil when blocks*tapes exceeds maxDenseIndex; ReplicaOn then
+	// falls back to scanning the (short) copies list.
+	posOn []int32
+	// tapeSlots[t] lists tape t's occupied positions in ascending position
+	// order: the per-tape candidate table consumed by schedulers that need
+	// position-sorted traversal without re-sorting per call.
+	tapeSlots [][]Slot
+}
+
+// Slot is one occupied position on a tape.
+type Slot struct {
+	Pos   int
+	Block BlockID
+}
+
+// maxDenseIndex caps the dense replica index at 256 MiB (64M int32
+// entries); pathological configurations beyond it use the scan fallback.
+const maxDenseIndex = 64 << 20
+
+// finalize builds the derived lookup structures (the dense replica index
+// and the per-tape sorted candidate tables) once the copies and blockAt
+// mappings are complete. Both Build and NewManual call it last.
+func (l *Layout) finalize() {
+	n := len(l.copies)
+	t := l.cfg.Tapes
+	if n*t <= maxDenseIndex {
+		l.posOn = make([]int32, n*t)
+		for b, cs := range l.copies {
+			for _, c := range cs {
+				l.posOn[b*t+c.Tape] = int32(c.Pos) + 1
+			}
+		}
+	}
+	l.tapeSlots = make([][]Slot, t)
+	for tape, row := range l.blockAt {
+		slots := make([]Slot, 0, len(row))
+		for pos, b := range row { // ascending pos: sorted by construction
+			if b >= 0 {
+				slots = append(slots, Slot{Pos: pos, Block: b})
+			}
+		}
+		l.tapeSlots[tape] = slots
+	}
 }
 
 // Build computes a layout for the given configuration. The number of logical
@@ -227,6 +274,7 @@ func Build(cfg Config) (*Layout, error) {
 			return nil, fmt.Errorf("layout: no room for cold block %d", b)
 		}
 	}
+	l.finalize()
 	return l, nil
 }
 
@@ -323,8 +371,15 @@ func (l *Layout) BlockAt(tape, pos int) (BlockID, bool) {
 	return b, b >= 0
 }
 
-// ReplicaOn returns block b's copy on the given tape, if one exists.
+// ReplicaOn returns block b's copy on the given tape, if one exists. With
+// the dense index in place (the common case) this is a single array load.
 func (l *Layout) ReplicaOn(b BlockID, tape int) (Replica, bool) {
+	if l.posOn != nil {
+		if p := l.posOn[int(b)*l.cfg.Tapes+tape]; p != 0 {
+			return Replica{Tape: tape, Pos: int(p) - 1}, true
+		}
+		return Replica{}, false
+	}
 	for _, r := range l.copies[b] {
 		if r.Tape == tape {
 			return r, true
@@ -332,6 +387,11 @@ func (l *Layout) ReplicaOn(b BlockID, tape int) (Replica, bool) {
 	}
 	return Replica{}, false
 }
+
+// TapeContents returns tape t's occupied positions in ascending position
+// order, precomputed at build time. The returned slice must not be
+// modified.
+func (l *Layout) TapeContents(t int) []Slot { return l.tapeSlots[t] }
 
 // ExpansionFactor returns E = 1 + NR*PH/100, the storage growth caused by
 // replication (Section 4.8, Figure 10a).

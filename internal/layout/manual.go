@@ -54,5 +54,6 @@ func NewManual(tapes, tapeCap, numHot int, copies [][]Replica) (*Layout, error) 
 		}
 		l.copies[b] = append([]Replica(nil), cs...)
 	}
+	l.finalize()
 	return l, nil
 }

@@ -54,8 +54,37 @@ type Scheduler interface {
 
 // RemovePending deletes the given requests (matched by pointer identity)
 // from the pending list, preserving arrival order of the remainder.
+//
+// Schedulers extract requests by filtering the pending list, so `taken` is
+// almost always an ordered subsequence of Pending; that case is handled
+// in place with no allocation. Arbitrary orders fall back to a set.
 func (st *State) RemovePending(taken []*Request) {
 	if len(taken) == 0 {
+		return
+	}
+	k := 0
+	for _, r := range st.Pending {
+		if k < len(taken) && r == taken[k] {
+			k++
+		}
+	}
+	if k == len(taken) {
+		// Ordered subsequence: single in-place filtering pass.
+		kept := st.Pending[:0]
+		k = 0
+		for _, r := range st.Pending {
+			if k < len(taken) && r == taken[k] {
+				k++
+				continue
+			}
+			kept = append(kept, r)
+		}
+		// Zero the tail so dropped requests do not linger in the backing
+		// array.
+		for i := len(kept); i < len(st.Pending); i++ {
+			st.Pending[i] = nil
+		}
+		st.Pending = kept
 		return
 	}
 	set := make(map[*Request]bool, len(taken))
@@ -68,7 +97,6 @@ func (st *State) RemovePending(taken []*Request) {
 			kept = append(kept, r)
 		}
 	}
-	// Zero the tail so dropped requests do not linger in the backing array.
 	for i := len(kept); i < len(st.Pending); i++ {
 		st.Pending[i] = nil
 	}

@@ -1,6 +1,9 @@
 package sched
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Sweep is a service list that executes in a single pass over the tape: a
 // forward phase (ascending positions, forward locates only) followed by a
@@ -18,7 +21,19 @@ type Sweep struct {
 // requests below the head form the reverse phase in descending order. Ties
 // on position preserve arrival order.
 func NewSweep(reqs []*Request, head int) *Sweep {
+	nf := 0
+	for _, r := range reqs {
+		if r.Target.Pos >= head {
+			nf++
+		}
+	}
 	s := &Sweep{}
+	if nf > 0 {
+		s.Forward = make([]*Request, 0, nf)
+	}
+	if len(reqs) > nf {
+		s.Reverse = make([]*Request, 0, len(reqs)-nf)
+	}
 	for _, r := range reqs {
 		if r.Target.Pos >= head {
 			s.Forward = append(s.Forward, r)
@@ -26,11 +41,11 @@ func NewSweep(reqs []*Request, head int) *Sweep {
 			s.Reverse = append(s.Reverse, r)
 		}
 	}
-	sort.SliceStable(s.Forward, func(i, j int) bool {
-		return s.Forward[i].Target.Pos < s.Forward[j].Target.Pos
+	slices.SortStableFunc(s.Forward, func(a, b *Request) int {
+		return a.Target.Pos - b.Target.Pos
 	})
-	sort.SliceStable(s.Reverse, func(i, j int) bool {
-		return s.Reverse[i].Target.Pos > s.Reverse[j].Target.Pos
+	slices.SortStableFunc(s.Reverse, func(a, b *Request) int {
+		return b.Target.Pos - a.Target.Pos
 	})
 	return s
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs the scheduler-critical benchmarks and records them in
+# BENCH_sched.json via cmd/benchdiff, so every PR leaves a perf
+# trajectory behind.
+#
+# Usage:
+#   scripts/bench.sh LABEL [BASELINE_LABEL]
+#
+# LABEL names this run's entry in BENCH_sched.json (re-running with the
+# same label updates it in place). With BASELINE_LABEL the run is also
+# diffed against that recorded entry and the script fails on a >20% ns/op
+# regression.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label=${1:?usage: scripts/bench.sh LABEL [BASELINE_LABEL]}
+base=${2:-}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' \
+    -bench 'BenchmarkAblationEnvelopeMaxBandwidthRepl|BenchmarkAblationDynamicMaxBandwidthRepl|BenchmarkSimulationDefault' \
+    -benchmem -benchtime 1s . | tee "$tmp"
+go test -run '^$' \
+    -bench 'BenchmarkUpperEnvelope|BenchmarkEnvelopeReschedule|BenchmarkEnvelopeOnArrival' \
+    -benchmem -benchtime 1s ./internal/core | tee -a "$tmp"
+
+if [ -n "$base" ]; then
+    go run ./cmd/benchdiff -in "$tmp" -json BENCH_sched.json -label "$label" -compare "$base"
+else
+    go run ./cmd/benchdiff -in "$tmp" -json BENCH_sched.json -label "$label"
+fi

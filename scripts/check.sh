@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Pre-merge gate: vet, build, and race-test the internal packages, then
+# the full test suite. Run before every merge (see README).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test -race ./internal/..."
+go test -race ./internal/...
+echo "== go test ./..."
+go test ./...
+echo "check.sh: all green"
