@@ -41,6 +41,13 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		writeEvery  = flag.Float64("write-interarrival", 0, "mean seconds between delta writes (0 = no writes)")
 		writePolicy = flag.String("write-policy", "piggyback", "delta flush policy: piggyback, idle-only, piggyback+idle")
+		transient   = flag.Float64("fault-transient", 0, "transient read-error probability per attempt")
+		badBlocks   = flag.Float64("fault-bad-blocks", 0, "expected bad-block ranges per tape")
+		tapeMTBF    = flag.Float64("fault-tape-mtbf", 0, "mean seconds to permanent tape failure (0 = never)")
+		driveMTBF   = flag.Float64("fault-drive-mtbf", 0, "mean seconds between drive failures (0 = never)")
+		driveRepair = flag.Float64("fault-drive-repair", 0, "drive repair downtime seconds (default 3600 when enabled)")
+		switchFail  = flag.Float64("fault-switch", 0, "tape load failure probability per attempt")
+		faultSeed   = flag.Int64("fault-seed", 0, "fault stream seed (0 = derive from -seed)")
 		format      = flag.String("format", "text", "output format: text or csv")
 		analytic    = flag.Bool("analytic", false, "also print the closed-form estimate (no-replication closed models)")
 		configPath  = flag.String("config", "", "load the full configuration from a JSON file (other workload flags are ignored)")
@@ -76,6 +83,15 @@ func main() {
 		Writes: tapejuke.WriteConfig{
 			MeanInterarrivalSec: *writeEvery,
 			Policy:              tapejuke.WritePolicy(*writePolicy),
+		},
+		Faults: tapejuke.FaultConfig{
+			ReadTransientProb: *transient,
+			BadBlocksPerTape:  *badBlocks,
+			TapeMTBFSec:       *tapeMTBF,
+			DriveMTBFSec:      *driveMTBF,
+			DriveRepairSec:    *driveRepair,
+			SwitchFailProb:    *switchFail,
+			Seed:              *faultSeed,
 		},
 	}
 	if *interarrive > 0 {
@@ -151,5 +167,13 @@ func main() {
 		fmt.Printf("time breakdown       locate %.0f s, read %.0f s, switch %.0f s, idle %.0f s\n",
 			res.LocateSeconds, res.ReadSeconds, res.SwitchSeconds, res.IdleSeconds)
 		fmt.Printf("mean queue length    %.1f\n", res.MeanQueueLen)
+		if cfg.Faults.Enabled() {
+			fmt.Printf("faults               %d transient (%d retries), %d permanent, %d switch; %.0f s lost\n",
+				res.TransientFaults, res.Retries, res.PermanentFaults, res.SwitchFaults, res.FaultSeconds)
+			fmt.Printf("failures             %d tapes, %d drive repairs (%.0f s down)\n",
+				res.TapeFailures, res.DriveFailures, res.DriveRepairSeconds)
+			fmt.Printf("availability         %.4f (%d unserviceable, %d rerouted, mean recovery %.1f s)\n",
+				res.Availability, res.Unserviceable, res.Rerouted, res.MeanRecoverySec)
+		}
 	}
 }

@@ -1,0 +1,77 @@
+package tapejuke
+
+import (
+	"tapejuke/internal/faults"
+	"tapejuke/internal/sim"
+)
+
+// Fault-model event kinds.
+const (
+	EventFault         = sim.EventFault
+	EventTapeFail      = sim.EventTapeFail
+	EventDriveRepair   = sim.EventDriveRepair
+	EventUnserviceable = sim.EventUnserviceable
+)
+
+// FaultConfig enables the fault-injection extension on a Config: media and
+// mechanism failures drawn as deterministic seeded streams, with bounded
+// retries and replica-based recovery. The paper treats replication purely
+// as a performance lever; this extension measures the availability a
+// replica also buys. The zero value disables every fault class.
+type FaultConfig struct {
+	// ReadTransientProb is the probability that one block-read attempt
+	// fails with a recoverable media error; failed attempts consume drive
+	// time and retry with simulated-time backoff.
+	ReadTransientProb float64
+	// BadBlocksPerTape is the expected number of permanently unreadable
+	// block ranges per tape, placed at initialization.
+	BadBlocksPerTape float64
+	// BadBlockRangeLen is the maximum length in blocks of one bad range
+	// (default 4).
+	BadBlockRangeLen int
+	// TapeMTBFSec, when positive, gives each tape an exponentially
+	// distributed time to permanent failure with this mean. Requests whose
+	// every copy is lost are reported unserviceable; replicated blocks are
+	// rerouted to surviving copies.
+	TapeMTBFSec float64
+	// DriveMTBFSec, when positive, gives each drive an exponential uptime
+	// between failures; DriveRepairSec is the downtime per failure
+	// (default 3600 s).
+	DriveMTBFSec   float64
+	DriveRepairSec float64
+	// SwitchFailProb is the probability that one tape load attempt fails,
+	// consuming the mechanical time before a retry.
+	SwitchFailProb float64
+
+	// MaxRetries, BackoffSec and BackoffFactor bound transient-error
+	// handling (defaults 3, 30 s, x2); exhaustion escalates the copy to
+	// permanently dead.
+	MaxRetries    int
+	BackoffSec    float64
+	BackoffFactor float64
+
+	// Seed makes the fault streams deterministic independently of the
+	// workload seed; zero derives it from Config.Seed.
+	Seed int64
+}
+
+// Enabled reports whether any fault class is active.
+func (f FaultConfig) Enabled() bool { return f.toFaults().Enabled() }
+
+func (f FaultConfig) toFaults() faults.Config {
+	return faults.Config{
+		ReadTransientProb: f.ReadTransientProb,
+		BadBlocksPerTape:  f.BadBlocksPerTape,
+		BadBlockRangeLen:  f.BadBlockRangeLen,
+		TapeMTBFSec:       f.TapeMTBFSec,
+		DriveMTBFSec:      f.DriveMTBFSec,
+		DriveRepairSec:    f.DriveRepairSec,
+		SwitchFailProb:    f.SwitchFailProb,
+		Retry: faults.RetryPolicy{
+			MaxRetries:    f.MaxRetries,
+			BackoffSec:    f.BackoffSec,
+			BackoffFactor: f.BackoffFactor,
+		},
+		Seed: f.Seed,
+	}
+}

@@ -86,6 +86,40 @@ func BenchmarkEnvelopeReschedule(b *testing.B) {
 	}
 }
 
+// BenchmarkEnvelopeRescheduleFaultHooks is the fault-free hot path with
+// the fault-model hooks armed: a non-nil all-healthy Down mask and a
+// DeadCopy callback that never kills a copy. The ISSUE's perf gate is that
+// this stays within 5% of the plain BenchmarkEnvelopeReschedule cases —
+// fault awareness must be free when nothing faults.
+func BenchmarkEnvelopeRescheduleFaultHooks(b *testing.B) {
+	cases := []struct {
+		name string
+		q    int
+		nr   int
+	}{
+		{"q=60", 60, 4},
+		{"q=140", 140, 4},
+		{"repl=9", 60, 9},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			st, saved := benchEnvelopeState(b, tc.q, tc.nr)
+			st.Down = make([]bool, st.Layout.Tapes())
+			st.DeadCopy = func(tape, pos int) bool { return false }
+			e := NewEnvelope(MaxBandwidth)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, ok := e.Reschedule(st); !ok {
+					b.Fatal("reschedule failed")
+				}
+				st.Pending = st.Pending[:0]
+				st.Pending = append(st.Pending, saved...)
+			}
+		})
+	}
+}
+
 func BenchmarkEnvelopeOnArrival(b *testing.B) {
 	st, _ := benchEnvelopeState(b, 60, 9)
 	e := NewEnvelope(MaxBandwidth)

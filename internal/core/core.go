@@ -140,10 +140,10 @@ func (e *Envelope) Reschedule(st *sched.State) (int, *sched.Sweep, bool) {
 // the current tape and the position is still ahead of the head, the request
 // joins the sweep, else it is deferred to the pending list.
 func (e *Envelope) OnArrival(st *sched.State, r *sched.Request) bool {
-	if st.Active == nil || st.Mounted < 0 || e.env == nil {
+	if st.Active == nil || st.Mounted < 0 || e.env == nil || !st.Up(st.Mounted) {
 		return false
 	}
-	if c, ok := st.Layout.ReplicaOn(r.Block, st.Mounted); ok && c.Pos < e.env[st.Mounted] {
+	if c, ok := st.Layout.ReplicaOn(r.Block, st.Mounted); ok && c.Pos < e.env[st.Mounted] && st.CopyOK(c) {
 		r.Target = c
 		return st.Active.Insert(r, st.Head)
 	}
@@ -153,6 +153,9 @@ func (e *Envelope) OnArrival(st *sched.State, r *sched.Request) bool {
 	bestTape, bestCost := -1, 0.0
 	var bestCopy layout.Replica
 	for _, c := range st.Layout.Replicas(r.Block) {
+		if !st.CopyOK(c) {
+			continue
+		}
 		cost := extensionCost(st, e.env[c.Tape], c.Tape, []int{c.Pos})
 		if bestTape < 0 || cost < bestCost {
 			bestTape, bestCost, bestCopy = c.Tape, cost, c
@@ -172,10 +175,11 @@ func (e *Envelope) OnArrival(st *sched.State, r *sched.Request) bool {
 }
 
 // replicaInside returns block b's copy on `tape` when that copy lies inside
-// the envelope.
+// the envelope and is readable. UsableOn is flattened here so the readable
+// check inlines in the per-request extraction loop.
 func replicaInside(st *sched.State, r *sched.Request, tape int, env []int) (layout.Replica, bool) {
 	c, ok := st.Layout.ReplicaOn(r.Block, tape)
-	if !ok || c.Pos+1 > env[tape] {
+	if !ok || c.Pos+1 > env[tape] || !st.CopyOK(c) {
 		return layout.Replica{}, false
 	}
 	return c, true
@@ -199,7 +203,7 @@ func (e *Envelope) selectTape(st *sched.State, env []int) (int, bool) {
 	}
 	for _, r := range st.Pending {
 		for _, c := range st.Layout.Replicas(r.Block) {
-			if c.Pos+1 <= env[c.Tape] {
+			if c.Pos+1 <= env[c.Tape] && st.CopyOK(c) {
 				sets[c.Tape] = append(sets[c.Tape], r)
 			}
 		}
@@ -217,7 +221,7 @@ func (e *Envelope) selectTape(st *sched.State, env []int) (int, bool) {
 			onTape[t] = false
 		}
 		for _, c := range st.Layout.Replicas(st.Pending[0].Block) {
-			if c.Pos+1 <= env[c.Tape] {
+			if c.Pos+1 <= env[c.Tape] && st.CopyOK(c) {
 				onTape[c.Tape] = true
 			}
 		}

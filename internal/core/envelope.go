@@ -46,6 +46,10 @@ type builder struct {
 
 	prefix []int            // scratch: chosen prefix, request indices
 	cands  []layout.Replica // scratch for insideChoice
+
+	// noFaults caches "no failure mask is armed" for the whole build, so
+	// the fault-free hot path skips the per-copy liveness checks.
+	noFaults bool
 }
 
 // extEntry is one candidate in a tape's extension list.
@@ -79,6 +83,7 @@ func (b *builder) reset(st *sched.State) {
 	n := len(st.Pending)
 	b.st = st
 	b.reqs = st.Pending
+	b.noFaults = st.Down == nil && st.DeadCopy == nil
 	b.env = resetInts(b.env, tapes)
 	b.count = resetInts(b.count, tapes)
 	b.unsched = n
@@ -124,14 +129,19 @@ func (b *builder) build() {
 }
 
 // initialEnvelope sets each tape's envelope to the head position after
-// reading its highest non-replicated requested block, and stretches the
-// mounted tape's envelope to the current head position if needed.
+// reading its highest requested block with a single surviving copy, and
+// stretches the mounted tape's envelope to the current head position if
+// needed. With the fault model off, "single surviving copy" is exactly
+// "non-replicated"; with it on, a replicated block whose other copies were
+// lost to failures is pinned just like an unreplicated one, and a request
+// with no surviving copy at all is left unscheduled (the engine reports it
+// unserviceable and never offers it to the scheduler again).
 func (b *builder) initialEnvelope() {
 	for i, r := range b.reqs {
-		if b.st.Layout.Replicated(r.Block) {
+		c, live := b.soleLiveCopy(r.Block)
+		if !live {
 			continue
 		}
-		c := b.st.Layout.Replicas(r.Block)[0]
 		b.assign(i, c)
 		if c.Pos+1 > b.env[c.Tape] {
 			b.env[c.Tape] = c.Pos + 1
@@ -140,6 +150,40 @@ func (b *builder) initialEnvelope() {
 	if b.st.Mounted >= 0 && b.st.Head > b.env[b.st.Mounted] {
 		b.env[b.st.Mounted] = b.st.Head
 	}
+}
+
+// soleLiveCopy returns block blk's only readable copy, or ok=false when the
+// block has zero or several readable copies. With no failure mask armed it
+// reduces to the replication test, inlined into the step-1 loop.
+func (b *builder) soleLiveCopy(blk layout.BlockID) (layout.Replica, bool) {
+	if b.noFaults {
+		cs := b.st.Layout.Replicas(blk)
+		if len(cs) != 1 {
+			return layout.Replica{}, false
+		}
+		return cs[0], true
+	}
+	return b.soleLiveCopyMasked(blk)
+}
+
+func (b *builder) soleLiveCopyMasked(blk layout.BlockID) (layout.Replica, bool) {
+	var sole layout.Replica
+	n := 0
+	for _, c := range b.st.Layout.Replicas(blk) {
+		if !b.st.CopyOK(c) {
+			continue
+		}
+		if n++; n > 1 {
+			return layout.Replica{}, false
+		}
+		sole = c
+	}
+	return sole, n == 1
+}
+
+// copyOK is st.CopyOK behind the cached fault-free fast path.
+func (b *builder) copyOK(c layout.Replica) bool {
+	return b.noFaults || b.st.CopyOK(c)
 }
 
 // absorb schedules every request that some in-envelope copy can satisfy.
@@ -162,7 +206,7 @@ func (b *builder) absorb() {
 func (b *builder) insideChoice(i int) (layout.Replica, bool) {
 	cands := b.cands[:0]
 	for _, c := range b.st.Layout.Replicas(b.reqs[i].Block) {
-		if c.Pos+1 <= b.env[c.Tape] {
+		if c.Pos+1 <= b.env[c.Tape] && b.copyOK(c) {
 			cands = append(cands, c)
 		}
 	}
@@ -242,6 +286,9 @@ func (b *builder) initExtensions() {
 			continue
 		}
 		for _, c := range b.st.Layout.Replicas(b.reqs[i].Block) {
+			if !b.copyOK(c) {
+				continue
+			}
 			b.ext[c.Tape] = append(b.ext[c.Tape], extEntry{req: i, pos: c.Pos})
 		}
 	}
@@ -415,7 +462,7 @@ func (b *builder) relocation(a, edge int) (layout.Replica, bool) {
 	var best layout.Replica
 	found := false
 	for _, c := range b.st.Layout.Replicas(b.reqs[edge].Block) {
-		if c.Tape == a || c.Pos+1 > b.env[c.Tape] {
+		if c.Tape == a || c.Pos+1 > b.env[c.Tape] || !b.copyOK(c) {
 			continue
 		}
 		if !found ||

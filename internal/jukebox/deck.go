@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"tapejuke/internal/faults"
 	"tapejuke/internal/tapemodel"
 )
 
@@ -30,8 +31,11 @@ type Deck struct {
 	locateSec float64
 	readSec   float64
 	switchSec float64
+	faultSec  float64
 	reads     int64
 	switches  int64
+
+	flt *faults.Injector // nil disables the fault model
 }
 
 // NewDeck builds a deck of `tapes` tapes of capBlocks blocks of blockMB
@@ -84,6 +88,9 @@ func (d *Deck) Mount(tape int) (float64, error) {
 	} else {
 		sec = d.prof.FullSwitch(d.posMB(d.head))
 	}
+	if err := d.mountFault(tape, sec); err != nil {
+		return sec, err
+	}
 	d.mounted = tape
 	d.head = 0
 	d.clock += sec
@@ -103,6 +110,9 @@ func (d *Deck) ReadBlock(pos int) (float64, error) {
 	}
 	loc, dir := d.prof.Locate(d.posMB(d.head), d.posMB(pos))
 	rd := d.prof.Read(d.blockMB, dir)
+	if err := d.readFault(pos, loc+rd); err != nil {
+		return loc + rd, err
+	}
 	d.head = pos + 1
 	d.clock += loc + rd
 	d.locateSec += loc

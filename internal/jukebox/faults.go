@@ -1,0 +1,104 @@
+package jukebox
+
+import (
+	"fmt"
+
+	"tapejuke/internal/faults"
+)
+
+// MediaError reports a failed block read. Transient errors may succeed on
+// retry; permanent ones never will (bad block or escalated copy).
+type MediaError struct {
+	Tape, Pos int
+	Permanent bool
+}
+
+// Error describes the failure.
+func (e *MediaError) Error() string {
+	kind := "transient"
+	if e.Permanent {
+		kind = "permanent"
+	}
+	return fmt.Sprintf("jukebox: %s media error reading tape %d pos %d", kind, e.Tape, e.Pos)
+}
+
+// TapeFailedError reports an operation against a tape past its permanent
+// failure time; no operation on the tape can ever succeed again.
+type TapeFailedError struct {
+	Tape int
+}
+
+// Error describes the failure.
+func (e *TapeFailedError) Error() string {
+	return fmt.Sprintf("jukebox: tape %d has permanently failed", e.Tape)
+}
+
+// SwitchError reports a failed tape load/unload attempt; the mechanical
+// time was consumed and the drive is left empty, but a retry may succeed.
+type SwitchError struct {
+	Tape int
+}
+
+// Error describes the failure.
+func (e *SwitchError) Error() string {
+	return fmt.Sprintf("jukebox: load of tape %d failed", e.Tape)
+}
+
+// SetFaults attaches a fault injector to the deck. Subsequent Mount and
+// ReadBlock calls consult it and may return the typed errors above; failed
+// attempts still consume simulated time (tracked in FaultSeconds). The
+// injector's notion of time is the deck's Clock. Retrying is the caller's
+// decision; the deck itself never retries.
+func (d *Deck) SetFaults(inj *faults.Injector) { d.flt = inj }
+
+// FaultSeconds returns the simulated time consumed by failed operations.
+func (d *Deck) FaultSeconds() float64 { return d.faultSec }
+
+// mountFault checks a pending fault on mounting `tape`; on fault it charges
+// the mechanical time, leaves the drive empty and returns the error.
+func (d *Deck) mountFault(tape int, sec float64) error {
+	if d.flt == nil {
+		return nil
+	}
+	if d.flt.TapeFailed(tape, d.clock) {
+		d.failOp(sec)
+		d.mounted, d.head = -1, 0
+		return &TapeFailedError{Tape: tape}
+	}
+	if d.flt.SwitchAttemptFails() {
+		d.failOp(sec)
+		d.mounted, d.head = -1, 0
+		return &SwitchError{Tape: tape}
+	}
+	return nil
+}
+
+// readFault checks a pending fault on reading `pos`; on fault it charges
+// the attempt time, advances the head past the position (the attempt ran),
+// and returns the error.
+func (d *Deck) readFault(pos int, sec float64) error {
+	if d.flt == nil {
+		return nil
+	}
+	switch {
+	case d.flt.TapeFailed(d.mounted, d.clock):
+		// The locate runs into the dead medium; the head position is moot.
+		d.failOp(sec)
+		return &TapeFailedError{Tape: d.mounted}
+	case d.flt.CopyDead(d.mounted, pos):
+		d.failOp(sec)
+		d.head = pos + 1
+		return &MediaError{Tape: d.mounted, Pos: pos, Permanent: true}
+	case d.flt.ReadAttemptFails():
+		d.failOp(sec)
+		d.head = pos + 1
+		return &MediaError{Tape: d.mounted, Pos: pos}
+	}
+	return nil
+}
+
+// failOp charges a failed operation's time.
+func (d *Deck) failOp(sec float64) {
+	d.clock += sec
+	d.faultSec += sec
+}

@@ -1,0 +1,141 @@
+package jukebox
+
+import (
+	"errors"
+	"testing"
+
+	"tapejuke/internal/faults"
+)
+
+// faultyDeck builds a deck with the given fault configuration attached.
+func faultyDeck(t *testing.T, fc faults.Config) *Deck {
+	t.Helper()
+	d := newDeck(t)
+	inj, err := faults.New(fc, 10, 1, 448)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetFaults(inj)
+	return d
+}
+
+func TestDeckFaultFree(t *testing.T) {
+	d := faultyDeck(t, faults.Config{})
+	if _, err := d.Mount(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadBlock(5); err != nil {
+		t.Fatal(err)
+	}
+	if d.FaultSeconds() != 0 {
+		t.Errorf("fault-free deck charged %v fault seconds", d.FaultSeconds())
+	}
+}
+
+func TestDeckTransientMediaError(t *testing.T) {
+	// Certain transient failure: every read attempt errors but charges time
+	// and advances the head past the attempted position.
+	d := faultyDeck(t, faults.Config{ReadTransientProb: 0.999999})
+	if _, err := d.Mount(0); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Clock()
+	sec, err := d.ReadBlock(5)
+	var me *MediaError
+	if !errors.As(err, &me) {
+		t.Fatalf("got %v, want MediaError", err)
+	}
+	if me.Permanent {
+		t.Error("transient error reported permanent")
+	}
+	if me.Tape != 0 || me.Pos != 5 {
+		t.Errorf("error located at tape %d pos %d, want 0/5", me.Tape, me.Pos)
+	}
+	if sec <= 0 || d.Clock() != before+sec {
+		t.Errorf("failed attempt charged %v, clock moved %v", sec, d.Clock()-before)
+	}
+	if d.FaultSeconds() != sec {
+		t.Errorf("FaultSeconds = %v, want %v", d.FaultSeconds(), sec)
+	}
+	if d.Head() != 6 {
+		t.Errorf("head = %d after failed read of 5, want 6", d.Head())
+	}
+	// The deck never retries on its own: read stats unchanged.
+	reads, _, _, readSec, _ := d.Stats()
+	if reads != 0 || readSec != 0 {
+		t.Errorf("failed attempt counted as a read (%d, %v)", reads, readSec)
+	}
+}
+
+func TestDeckPermanentMediaError(t *testing.T) {
+	d := faultyDeck(t, faults.Config{})
+	d.flt.MarkDead(0, 7)
+	if _, err := d.Mount(0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.ReadBlock(7)
+	var me *MediaError
+	if !errors.As(err, &me) || !me.Permanent {
+		t.Fatalf("got %v, want permanent MediaError", err)
+	}
+	// Neighboring blocks still read fine.
+	if _, err := d.ReadBlock(8); err != nil {
+		t.Fatalf("healthy block after a dead one: %v", err)
+	}
+}
+
+func TestDeckTapeFailedError(t *testing.T) {
+	// MTBF so short the tape is dead from (nearly) time zero; push the clock
+	// past any plausible failure time first.
+	d := faultyDeck(t, faults.Config{TapeMTBFSec: 1e-9})
+	if err := d.Idle(1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.Mount(0)
+	var tf *TapeFailedError
+	if !errors.As(err, &tf) {
+		t.Fatalf("got %v, want TapeFailedError", err)
+	}
+	if d.Mounted() != -1 {
+		t.Errorf("drive not left empty after a failed mount (mounted %d)", d.Mounted())
+	}
+	if d.FaultSeconds() <= 0 {
+		t.Error("failed mount consumed no time")
+	}
+}
+
+func TestDeckSwitchError(t *testing.T) {
+	d := faultyDeck(t, faults.Config{SwitchFailProb: 0.999999})
+	sec, err := d.Mount(3)
+	var se *SwitchError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want SwitchError", err)
+	}
+	if se.Tape != 3 {
+		t.Errorf("SwitchError names tape %d, want 3", se.Tape)
+	}
+	if d.Mounted() != -1 {
+		t.Errorf("drive not left empty after a failed load (mounted %d)", d.Mounted())
+	}
+	if sec <= 0 || d.FaultSeconds() != sec {
+		t.Errorf("failed load charged %v, FaultSeconds %v", sec, d.FaultSeconds())
+	}
+	// Switch stats count successes only.
+	_, switches, _, _, switchSec := d.Stats()
+	if switches != 0 || switchSec != 0 {
+		t.Errorf("failed load counted as a switch (%d, %v)", switches, switchSec)
+	}
+}
+
+func TestDeckErrorStrings(t *testing.T) {
+	for _, e := range []error{
+		&MediaError{Tape: 1, Pos: 2},
+		&MediaError{Tape: 1, Pos: 2, Permanent: true},
+		&TapeFailedError{Tape: 3},
+		&SwitchError{Tape: 4},
+	} {
+		if e.Error() == "" {
+			t.Errorf("%T has an empty message", e)
+		}
+	}
+}

@@ -37,11 +37,11 @@ func (d *Dynamic) OnArrival(st *State, r *Request) bool {
 // insertOnMounted implements the dynamic incremental scheduler shared by
 // the dynamic algorithms and (within the envelope) the envelope algorithms.
 func insertOnMounted(st *State, r *Request) bool {
-	if st.Active == nil || st.Mounted < 0 {
+	if st.Active == nil || st.Mounted < 0 || !st.Up(st.Mounted) {
 		return false
 	}
 	c, ok := st.Layout.ReplicaOn(r.Block, st.Mounted)
-	if !ok {
+	if !ok || !st.CopyOK(c) {
 		return false
 	}
 	r.Target = c

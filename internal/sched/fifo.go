@@ -37,15 +37,16 @@ func (*FIFO) Reschedule(st *State) (int, *Sweep, bool) {
 func (*FIFO) OnArrival(*State, *Request) bool { return false }
 
 // layoutTarget picks the copy FIFO should read: the mounted tape's copy
-// when one exists, otherwise the first copy on an available tape.
+// when one exists and is readable, otherwise the first readable copy on an
+// available tape.
 func layoutTarget(st *State, r *Request) (layout.Replica, bool) {
 	if st.Mounted >= 0 && st.Available(st.Mounted) {
-		if c, ok := st.Layout.ReplicaOn(r.Block, st.Mounted); ok {
+		if c, ok := st.UsableOn(r.Block, st.Mounted); ok {
 			return c, true
 		}
 	}
 	for _, c := range st.Layout.Replicas(r.Block) {
-		if st.Available(c.Tape) {
+		if st.Available(c.Tape) && st.CopyOK(c) {
 			return c, true
 		}
 	}

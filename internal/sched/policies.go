@@ -72,11 +72,14 @@ func allTapes(st *State) []int {
 	return out
 }
 
-// oldestTapes lists the tapes holding a copy of the oldest pending request.
+// oldestTapes lists the tapes holding a readable copy of the oldest
+// pending request.
 func oldestTapes(st *State) []int {
 	var out []int
 	for _, c := range st.Layout.Replicas(st.Pending[0].Block) {
-		out = append(out, c.Tape)
+		if st.CopyOK(c) {
+			out = append(out, c.Tape)
+		}
 	}
 	return out
 }
@@ -149,12 +152,13 @@ func selectByBandwidth(st *State, candidates []int) (int, bool) {
 	return best, true
 }
 
-// candidatePositions lists the replica positions on `tape` of the pending
-// requests that tape can satisfy.
+// candidatePositions lists the readable replica positions on `tape` of the
+// pending requests that tape can satisfy.
 func candidatePositions(st *State, tape int) []int {
 	var out []int
 	for _, r := range st.Pending {
-		if c, ok := st.Layout.ReplicaOn(r.Block, tape); ok {
+		// UsableOn flattened so both lookups inline on this hot path.
+		if c, ok := st.Layout.ReplicaOn(r.Block, tape); ok && st.CopyOK(c) {
 			out = append(out, c.Pos)
 		}
 	}

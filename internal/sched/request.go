@@ -18,4 +18,10 @@ type Request struct {
 	// Target is the physical copy chosen to satisfy the request; it is set
 	// by a scheduler when the request enters a service list.
 	Target layout.Replica
+
+	// FaultedAt records the simulation time at which the request first lost
+	// a chosen copy to a permanent fault (zero if never). The engine uses it
+	// to measure recovery latency when a surviving replica later serves the
+	// request.
+	FaultedAt float64
 }

@@ -23,12 +23,69 @@ type State struct {
 	// work). nil means every tape is available.
 	Busy []bool
 
+	// Down marks tapes that have permanently failed (the fault model's
+	// unavailable-tape mask). Schedulers must not select a down tape nor
+	// target a copy on one; requests whose every copy is down are the
+	// engine's problem (reported unserviceable), never a scheduler's.
+	// nil means every tape is up.
+	Down []bool
+
+	// DeadCopy, when non-nil, reports physical copies that are permanently
+	// unreadable (media bad blocks, or transient errors escalated after
+	// retry exhaustion). Schedulers must not target a dead copy.
+	DeadCopy func(tape, pos int) bool
+
 	Clock float64 // current simulation time (seconds)
 }
 
-// Available reports whether the major rescheduler may select the tape.
+// Up reports whether the tape has not permanently failed.
+func (st *State) Up(tape int) bool {
+	return st.Down == nil || !st.Down[tape]
+}
+
+// Available reports whether the major rescheduler may select the tape:
+// neither mounted in another drive nor permanently failed.
 func (st *State) Available(tape int) bool {
-	return st.Busy == nil || !st.Busy[tape]
+	return (st.Busy == nil || !st.Busy[tape]) && st.Up(tape)
+}
+
+// CopyOK reports whether the physical copy is readable: its tape is up and
+// the copy itself is not dead. Split so the fault-free path (no masks
+// armed) inlines to two nil checks at every call site; the masked path
+// pays one call.
+func (st *State) CopyOK(c layout.Replica) bool {
+	if st.Down == nil && st.DeadCopy == nil {
+		return true
+	}
+	return st.copyOKMasked(c)
+}
+
+func (st *State) copyOKMasked(c layout.Replica) bool {
+	if st.Down != nil && st.Down[c.Tape] {
+		return false
+	}
+	return st.DeadCopy == nil || !st.DeadCopy(c.Tape, c.Pos)
+}
+
+// UsableOn returns block b's copy on the given tape when that copy exists
+// and is readable.
+func (st *State) UsableOn(b layout.BlockID, tape int) (layout.Replica, bool) {
+	c, ok := st.Layout.ReplicaOn(b, tape)
+	if !ok || !st.CopyOK(c) {
+		return layout.Replica{}, false
+	}
+	return c, true
+}
+
+// Serviceable reports whether at least one readable copy of block b
+// remains anywhere in the jukebox.
+func (st *State) Serviceable(b layout.BlockID) bool {
+	for _, c := range st.Layout.Replicas(b) {
+		if st.CopyOK(c) {
+			return true
+		}
+	}
+	return false
 }
 
 // Scheduler is a scheduling algorithm: a major rescheduler invoked at tape
@@ -103,12 +160,13 @@ func (st *State) RemovePending(taken []*Request) {
 	st.Pending = kept
 }
 
-// SatisfiableBy returns the pending requests that have a replica on the
-// given tape, in arrival order.
+// SatisfiableBy returns the pending requests that have a readable replica
+// on the given tape, in arrival order. UsableOn is flattened into the loop
+// so both lookups inline on this hot path.
 func (st *State) SatisfiableBy(tape int) []*Request {
 	var out []*Request
 	for _, r := range st.Pending {
-		if _, ok := st.Layout.ReplicaOn(r.Block, tape); ok {
+		if c, ok := st.Layout.ReplicaOn(r.Block, tape); ok && st.CopyOK(c) {
 			out = append(out, r)
 		}
 	}
@@ -117,12 +175,14 @@ func (st *State) SatisfiableBy(tape int) []*Request {
 
 // CountByTape returns, for each tape, the number of pending requests that
 // tape could satisfy. A replicated request is counted on each tape holding
-// a copy.
+// a readable copy.
 func (st *State) CountByTape() []int {
 	counts := make([]int, st.Layout.Tapes())
 	for _, r := range st.Pending {
 		for _, c := range st.Layout.Replicas(r.Block) {
-			counts[c.Tape]++
+			if st.CopyOK(c) {
+				counts[c.Tape]++
+			}
 		}
 	}
 	return counts

@@ -33,15 +33,15 @@ func (s *Static) Reschedule(st *State) (int, *Sweep, bool) {
 // OnArrival always defers.
 func (*Static) OnArrival(*State, *Request) bool { return false }
 
-// extractTape removes every pending request with a copy on `tape` from the
-// pending list, targets them at that copy, and builds the sweep.
+// extractTape removes every pending request with a readable copy on `tape`
+// from the pending list, targets them at that copy, and builds the sweep.
 func extractTape(st *State, tape int) (int, *Sweep, bool) {
 	reqs := st.SatisfiableBy(tape)
 	if len(reqs) == 0 {
 		return 0, nil, false
 	}
 	for _, r := range reqs {
-		c, _ := st.Layout.ReplicaOn(r.Block, tape)
+		c, _ := st.UsableOn(r.Block, tape)
 		r.Target = c
 	}
 	st.RemovePending(reqs)

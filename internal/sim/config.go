@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"tapejuke/internal/faults"
 	"tapejuke/internal/layout"
 	"tapejuke/internal/sched"
 	"tapejuke/internal/tapemodel"
@@ -100,12 +101,23 @@ type Config struct {
 	WritePolicy           WritePolicy
 	WriteReserveMB        float64
 	WriteFlushThreshold   int
+
+	// Faults configures the fault-injection model (see package faults):
+	// transient media errors, bad-block ranges, whole-tape and drive
+	// failures, and switch failures, with bounded retries and replica-based
+	// recovery. The zero value disables every fault class. When
+	// Faults.Seed is zero the fault streams derive from Seed+3, keeping
+	// fault and workload randomness independent.
+	Faults faults.Config
 }
 
 // Validate reports the first configuration error, applying no defaults.
 func (c *Config) Validate() error {
 	if c.BlockMB <= 0 {
 		return errors.New("sim: BlockMB must be positive")
+	}
+	if c.TapeCapMB <= 0 {
+		return errors.New("sim: TapeCapMB must be positive")
 	}
 	if c.TapeCapMB < c.BlockMB {
 		return errors.New("sim: TapeCapMB must hold at least one block")
@@ -121,6 +133,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Drives > 1 && c.SchedulerFactory == nil {
 		return errors.New("sim: multi-drive runs need SchedulerFactory")
+	}
+	if c.QueueLength < 0 {
+		return fmt.Errorf("sim: QueueLength %d must be non-negative", c.QueueLength)
+	}
+	if c.MeanInterarrival < 0 {
+		return fmt.Errorf("sim: MeanInterarrival %v must be non-negative", c.MeanInterarrival)
 	}
 	closed := c.QueueLength > 0
 	open := c.MeanInterarrival > 0
@@ -149,6 +167,12 @@ func (c *Config) Validate() error {
 	if c.WriteReserveMB < 0 || (c.WriteReserveMB > 0 && c.WriteReserveMB >= c.TapeCapMB) {
 		return fmt.Errorf("sim: WriteReserveMB %v must leave room for data on a %v MB tape",
 			c.WriteReserveMB, c.TapeCapMB)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if c.Faults.Enabled() && c.WriteMeanInterarrival > 0 {
+		return errors.New("sim: the fault model does not cover the write extension")
 	}
 	return nil
 }
@@ -187,6 +211,21 @@ type Result struct {
 	WriteSeconds      float64 // drive time spent flushing deltas
 	MeanWriteDelaySec float64 // buffer residence of flushed deltas (post-warmup)
 	MaxBufferedWrites int     // peak disk-buffer occupancy in blocks
+
+	// Fault-model metrics (zero when the fault model is disabled, except
+	// Availability, which is then 1).
+	Retries            int64   // transient-error retry attempts issued
+	TransientFaults    int64   // read attempts failed with a recoverable error
+	PermanentFaults    int64   // read operations failed permanently (dead copies, escalations, tape failures)
+	SwitchFaults       int64   // failed tape load/unload attempts
+	TapeFailures       int     // tapes discovered permanently failed by the end of the run
+	DriveFailures      int64   // drive failures repaired
+	DriveRepairSeconds float64 // downtime spent repairing drives
+	FaultSeconds       float64 // drive time consumed by failed attempts and retry backoff
+	Unserviceable      int64   // requests abandoned with every copy lost (whole run)
+	Rerouted           int64   // post-warmup completions served by a surviving replica after a permanent fault
+	MeanRecoverySec    float64 // mean extra wait from first permanent fault to completion (post-warmup)
+	Availability       float64 // post-warmup completed / (completed + unserviceable)
 }
 
 // EffectiveOfStreaming returns throughput as a fraction of the drive's

@@ -27,6 +27,7 @@ func Run(cfg Config) (*Result, error) {
 		for i := 0; i < cfg.Drives; i++ {
 			m.scheds = append(m.scheds, cfg.SchedulerFactory())
 		}
+		m.deliverFn = m.deliverMulti
 		return m.runMulti()
 	}
 	return e.run()
@@ -63,6 +64,11 @@ type engine struct {
 	readsPerTape []int64
 
 	writes *writeState // write-model extension, nil when disabled
+	flt    *faultState // fault-model extension, nil when disabled
+
+	// deliverFn routes a request through the engine's arrival path; the
+	// multi-drive engine overrides it with deliverMulti.
+	deliverFn func(*sched.Request)
 }
 
 func newEngine(cfg Config) (*engine, error) {
@@ -140,7 +146,11 @@ func newEngine(cfg Config) (*engine, error) {
 			Mounted: -1,
 		},
 	}
+	e.deliverFn = e.deliver
 	if err := e.initWrites(capBlocks); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := e.initFaults(capBlocks); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	// Seed the system: closed models start with the full queue present;
@@ -179,12 +189,25 @@ func (e *engine) pumpArrivals() {
 	e.pumpWrites()
 }
 
-// deliver routes one new request through the incremental scheduler.
+// deliver routes one new request through the incremental scheduler. With
+// the fault model on, a request for a block with no readable copy left is
+// abandoned immediately; a closed-model process then issues a fresh request
+// (the respawn chain is bounded so heavy data loss cannot loop forever).
 func (e *engine) deliver(r *sched.Request) {
-	if e.st.Active != nil && e.schd.OnArrival(e.st, r) {
-		return
+	for tries := 0; ; tries++ {
+		if e.flt == nil || e.st.Serviceable(r.Block) {
+			if e.st.Active != nil && e.schd.OnArrival(e.st, r) {
+				return
+			}
+			e.st.Pending = append(e.st.Pending, r)
+			return
+		}
+		e.unserviceable(r)
+		if !e.arr.Closed() || !e.flt.anyTapeUp() || tries >= 100 {
+			return
+		}
+		r = e.newRequest(e.now)
 	}
-	e.st.Pending = append(e.st.Pending, r)
 }
 
 // complete records the completion of request r at the current time and, in
@@ -197,6 +220,10 @@ func (e *engine) complete(r *sched.Request) {
 		rt := e.now - r.Arrival
 		e.resp.Add(rt)
 		e.respSample.Add(rt, e.gen.Rand().Int63n)
+		if r.FaultedAt > 0 {
+			e.flt.rerouted++
+			e.flt.recovery.Add(e.now - r.FaultedAt)
+		}
 	}
 	e.emit(Event{Kind: EventComplete, Time: e.now, Tape: r.Target.Tape,
 		Pos: r.Target.Pos, Request: r.ID})
@@ -207,6 +234,10 @@ func (e *engine) complete(r *sched.Request) {
 
 func (e *engine) run() (*Result, error) {
 	for e.now < e.cfg.Horizon {
+		if e.flt != nil {
+			e.checkDriveRepair()
+			e.dropUnserviceable()
+		}
 		e.pumpArrivals()
 		if len(e.st.Pending) == 0 {
 			// The write extension uses idle periods to drain delta buffers.
@@ -241,12 +272,22 @@ func (e *engine) run() (*Result, error) {
 		}
 		if tape != e.st.Mounted {
 			sw := e.st.Costs.SwitchCost(e.st.Mounted, e.st.Head, tape)
-			e.advance(sw, &e.switchSec)
-			e.st.Mounted, e.st.Head = tape, 0
-			if e.now > e.warmupEnd {
-				e.switches++
+			if e.flt != nil {
+				if !e.faultySwitch(tape, sw) {
+					// The load never succeeded: the target tape is masked
+					// and the extracted sweep goes back to the pending list
+					// to be rerouted to surviving replicas.
+					e.requeueSweep(sweep)
+					continue
+				}
+			} else {
+				e.advance(sw, &e.switchSec)
+				e.st.Mounted, e.st.Head = tape, 0
+				if e.now > e.warmupEnd {
+					e.switches++
+				}
+				e.emit(Event{Kind: EventSwitch, Time: e.now, Tape: tape, Pos: -1, Seconds: sw})
 			}
-			e.emit(Event{Kind: EventSwitch, Time: e.now, Tape: tape, Pos: -1, Seconds: sw})
 		}
 		e.st.Active = sweep
 		// Arrivals that landed during the switch meet the incremental
@@ -255,16 +296,20 @@ func (e *engine) run() (*Result, error) {
 
 		for !sweep.Empty() && e.now < e.cfg.Horizon {
 			r := sweep.Pop()
-			loc, rd, newHead := e.st.Costs.ServeOneParts(e.st.Head, r.Target.Pos)
-			e.advance(loc, &e.locateSec)
-			e.advance(rd, &e.readSec)
-			e.st.Head = newHead
-			if e.now > e.warmupEnd {
-				e.readsPerTape[r.Target.Tape]++
+			if e.flt != nil {
+				e.faultyRead(r, sweep)
+			} else {
+				loc, rd, newHead := e.st.Costs.ServeOneParts(e.st.Head, r.Target.Pos)
+				e.advance(loc, &e.locateSec)
+				e.advance(rd, &e.readSec)
+				e.st.Head = newHead
+				if e.now > e.warmupEnd {
+					e.readsPerTape[r.Target.Tape]++
+				}
+				e.emit(Event{Kind: EventRead, Time: e.now, Tape: r.Target.Tape,
+					Pos: r.Target.Pos, Seconds: loc + rd, Request: r.ID})
+				e.complete(r)
 			}
-			e.emit(Event{Kind: EventRead, Time: e.now, Tape: r.Target.Tape,
-				Pos: r.Target.Pos, Seconds: loc + rd, Request: r.ID})
-			e.complete(r)
 			e.pumpArrivals()
 			if e.cfg.MaxCompletions > 0 && e.completed >= e.cfg.MaxCompletions {
 				e.st.Active = nil
@@ -316,5 +361,6 @@ func (e *engine) result() *Result {
 		res.MeanWriteDelaySec = w.delay.Mean()
 		res.MaxBufferedWrites = w.maxBuffer
 	}
+	e.faultResult(res)
 	return res
 }

@@ -249,23 +249,59 @@ func TestConfigValidation(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
 	}
-	mutations := []func(*Config){
-		func(c *Config) { c.BlockMB = 0 },
-		func(c *Config) { c.TapeCapMB = 1 },
-		func(c *Config) { c.Tapes = 0 },
-		func(c *Config) { c.Scheduler = nil },
-		func(c *Config) { c.QueueLength = 0 },
-		func(c *Config) { c.MeanInterarrival = 100 }, // both set
-		func(c *Config) { c.Horizon = 0 },
-		func(c *Config) { c.WarmupFrac = 1 },
-		func(c *Config) { c.WarmupFrac = -0.1 },
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero block size", func(c *Config) { c.BlockMB = 0 }},
+		{"negative block size", func(c *Config) { c.BlockMB = -1 }},
+		{"zero tape capacity", func(c *Config) { c.TapeCapMB = 0 }},
+		{"negative tape capacity", func(c *Config) { c.TapeCapMB = -7168 }},
+		{"capacity below one block", func(c *Config) { c.TapeCapMB = 1 }},
+		{"no tapes", func(c *Config) { c.Tapes = 0 }},
+		{"negative tapes", func(c *Config) { c.Tapes = -1 }},
+		{"nil scheduler", func(c *Config) { c.Scheduler = nil }},
+		{"negative drives", func(c *Config) { c.Drives = -1 }},
+		{"more drives than tapes", func(c *Config) { c.Drives = c.Tapes + 1 }},
+		{"multi-drive without factory", func(c *Config) { c.Drives = 2 }},
+		{"negative queue length", func(c *Config) { c.QueueLength = -1 }},
+		{"negative interarrival", func(c *Config) { c.MeanInterarrival = -100 }},
+		{"neither workload model", func(c *Config) { c.QueueLength = 0 }},
+		{"both workload models", func(c *Config) { c.MeanInterarrival = 100 }},
+		{"zero horizon", func(c *Config) { c.Horizon = 0 }},
+		{"warmup fraction one", func(c *Config) { c.WarmupFrac = 1 }},
+		{"negative warmup fraction", func(c *Config) { c.WarmupFrac = -0.1 }},
+		{"sequential prob one", func(c *Config) { c.SequentialProb = 1 }},
+		{"negative sequential prob", func(c *Config) { c.SequentialProb = -0.5 }},
+		{"zipf exponent at most one", func(c *Config) { c.ZipfS = 1 }},
+		{"negative zipf exponent", func(c *Config) { c.ZipfS = -2 }},
+		{"negative write interarrival", func(c *Config) { c.WriteMeanInterarrival = -1 }},
+		{"write reserve eats the tape", func(c *Config) { c.WriteReserveMB = c.TapeCapMB }},
+		{"negative write reserve", func(c *Config) { c.WriteReserveMB = -1 }},
+		{"negative transient probability", func(c *Config) { c.Faults.ReadTransientProb = -0.1 }},
+		{"transient probability above one", func(c *Config) { c.Faults.ReadTransientProb = 1.5 }},
+		{"negative bad-block rate", func(c *Config) { c.Faults.BadBlocksPerTape = -1 }},
+		{"negative bad-block range", func(c *Config) { c.Faults.BadBlockRangeLen = -2 }},
+		{"negative tape MTBF", func(c *Config) { c.Faults.TapeMTBFSec = -1 }},
+		{"negative drive MTBF", func(c *Config) { c.Faults.DriveMTBFSec = -1 }},
+		{"negative drive repair", func(c *Config) { c.Faults.DriveRepairSec = -1 }},
+		{"switch probability above one", func(c *Config) { c.Faults.SwitchFailProb = 2 }},
+		{"negative retry budget", func(c *Config) { c.Faults.Retry.MaxRetries = -1 }},
+		{"negative backoff", func(c *Config) { c.Faults.Retry.BackoffSec = -1 }},
+		{"shrinking backoff", func(c *Config) { c.Faults.Retry.BackoffFactor = 0.5 }},
+		{"faults with writes", func(c *Config) {
+			c.Faults.ReadTransientProb = 0.01
+			c.WriteMeanInterarrival = 500
+		}},
 	}
-	for i, mut := range mutations {
-		cfg := quickCfg(sched.NewFIFO())
-		mut(&cfg)
-		if err := cfg.Validate(); err == nil {
-			t.Errorf("mutation %d accepted", i)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := quickCfg(sched.NewFIFO())
+			tc.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
 	}
 	// Run surfaces layout errors.
 	cfg := quickCfg(sched.NewFIFO())

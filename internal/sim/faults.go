@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"sort"
+
+	"tapejuke/internal/faults"
+	"tapejuke/internal/layout"
+	"tapejuke/internal/sched"
+	"tapejuke/internal/stats"
+)
+
+// faultState is the engine-side bookkeeping of the fault model: the stream
+// injector, the shared down-tape mask, and the fault metrics. nil when the
+// fault model is disabled, which keeps the fault-free hot path to a handful
+// of nil checks.
+type faultState struct {
+	inj       *faults.Injector
+	down      []bool // shared with st.Down: tapes discovered failed
+	maskDirty bool   // a copy or tape was lost since the last pending scan
+
+	retries    int64
+	transient  int64
+	permanent  int64
+	switchFlt  int64
+	driveFails int64
+	repairSec  float64
+	faultSec   float64
+	unserv     int64 // whole run, for conservation
+	unservPost int64 // post-warmup, for availability
+	rerouted   int64
+	recovery   stats.Accumulator
+}
+
+// anyTapeUp reports whether at least one tape has not failed.
+func (f *faultState) anyTapeUp() bool {
+	for _, d := range f.down {
+		if !d {
+			return true
+		}
+	}
+	return false
+}
+
+// initFaults wires the fault injector into the engine when any fault class
+// is enabled. capBlocks is the per-tape data capacity in blocks.
+func (e *engine) initFaults(capBlocks int) error {
+	fc := e.cfg.Faults
+	if !fc.Enabled() {
+		return nil
+	}
+	if fc.Seed == 0 {
+		fc.Seed = e.cfg.Seed + 3
+	}
+	drives := e.cfg.Drives
+	if drives < 1 {
+		drives = 1
+	}
+	inj, err := faults.New(fc, e.cfg.Tapes, drives, capBlocks)
+	if err != nil {
+		return err
+	}
+	e.flt = &faultState{
+		inj:  inj,
+		down: make([]bool, e.cfg.Tapes),
+		// Injected bad ranges may leave initially seeded requests with no
+		// readable copy; the first pending scan must abandon those.
+		maskDirty: inj.InjectedBadBlocks() > 0,
+	}
+	e.st.Down = e.flt.down
+	e.st.DeadCopy = inj.CopyDead
+	return nil
+}
+
+// unserviceable abandons a request whose every copy is lost: it leaves the
+// system uncompleted.
+func (e *engine) unserviceable(r *sched.Request) {
+	e.outstanding--
+	e.flt.unserv++
+	if e.now > e.warmupEnd {
+		e.flt.unservPost++
+	}
+	e.emit(Event{Kind: EventUnserviceable, Time: e.now, Tape: -1, Pos: -1, Request: r.ID})
+}
+
+// dropUnserviceable scans the pending list after the copy-availability mask
+// changed and abandons every request with no readable copy left, so
+// schedulers never see a request they cannot place. Closed-model processes
+// whose request was abandoned issue a fresh one, availability permitting.
+func (e *engine) dropUnserviceable() {
+	if !e.flt.maskDirty {
+		return
+	}
+	e.flt.maskDirty = false
+	dropped := 0
+	kept := e.st.Pending[:0]
+	for _, r := range e.st.Pending {
+		if e.st.Serviceable(r.Block) {
+			kept = append(kept, r)
+			continue
+		}
+		e.unserviceable(r)
+		dropped++
+	}
+	for i := len(kept); i < len(e.st.Pending); i++ {
+		e.st.Pending[i] = nil
+	}
+	e.st.Pending = kept
+	if e.arr.Closed() {
+		for ; dropped > 0 && e.flt.anyTapeUp(); dropped-- {
+			e.deliverFn(e.newRequest(e.now))
+		}
+	}
+}
+
+// markTapeDown masks a tape discovered permanently failed.
+func (e *engine) markTapeDown(tape int) {
+	if e.flt.down[tape] {
+		return
+	}
+	e.flt.down[tape] = true
+	e.flt.maskDirty = true
+	e.emit(Event{Kind: EventTapeFail, Time: e.now, Tape: tape, Pos: -1})
+}
+
+// requeueFaulted returns a request whose chosen copy was lost to the
+// pending list, preserving (Arrival, ID) order so schedulers keep seeing an
+// arrival-ordered list. If every copy is gone, the next dropUnserviceable
+// scan abandons the request; it is never retried forever.
+func (e *engine) requeueFaulted(r *sched.Request) {
+	if r.FaultedAt == 0 {
+		r.FaultedAt = e.now
+	}
+	r.Target = layout.Replica{}
+	p := e.st.Pending
+	i := sort.Search(len(p), func(i int) bool {
+		return p[i].Arrival > r.Arrival || (p[i].Arrival == r.Arrival && p[i].ID > r.ID)
+	})
+	p = append(p, nil)
+	copy(p[i+1:], p[i:])
+	p[i] = r
+	e.st.Pending = p
+}
+
+// requeueSweep sends every remaining sweep request back to the pending list.
+func (e *engine) requeueSweep(sw *sched.Sweep) {
+	for !sw.Empty() {
+		e.requeueFaulted(sw.Pop())
+	}
+}
+
+// checkDriveRepair serves a due single-drive failure: the drive is down for
+// the repair time before any further operation.
+func (e *engine) checkDriveRepair() {
+	f := e.flt
+	if e.now < f.inj.DriveFailAt(0) {
+		return
+	}
+	rep := f.inj.DriveRepair(0, e.now)
+	f.driveFails++
+	e.advance(rep, &f.repairSec)
+	e.emit(Event{Kind: EventDriveRepair, Time: e.now, Tape: -1, Pos: -1, Seconds: rep})
+}
+
+// faultySwitch performs a tape switch under the fault model. Load attempts
+// may fail with the configured probability, each consuming the mechanical
+// time, retried up to the policy bound; a tape past its failure time is
+// discovered dead at load. It returns false with the drive left empty and
+// the target tape masked when the load never succeeds.
+func (e *engine) faultySwitch(tape int, sw float64) bool {
+	f := e.flt
+	for attempt := 0; ; {
+		if f.inj.TapeFailed(tape, e.now) {
+			// The robot fetches the cartridge and the load fails for good:
+			// this is how an unmounted tape's death is discovered.
+			e.advance(sw, &f.faultSec)
+			e.st.Mounted, e.st.Head = -1, 0
+			e.markTapeDown(tape)
+			return false
+		}
+		if !f.inj.SwitchAttemptFails() {
+			e.advance(sw, &e.switchSec)
+			e.st.Mounted, e.st.Head = tape, 0
+			if e.now > e.warmupEnd {
+				e.switches++
+			}
+			e.emit(Event{Kind: EventSwitch, Time: e.now, Tape: tape, Pos: -1, Seconds: sw})
+			return true
+		}
+		f.switchFlt++
+		e.advance(sw, &f.faultSec)
+		e.emit(Event{Kind: EventFault, Time: e.now, Tape: tape, Pos: -1, Seconds: sw})
+		attempt++
+		if attempt > f.inj.Retry().MaxRetries {
+			// The loader cannot mount the cartridge; treat it as damaged.
+			e.st.Mounted, e.st.Head = -1, 0
+			e.markTapeDown(tape)
+			return false
+		}
+		f.retries++
+	}
+}
+
+// faultyRead serves one sweep request under the fault model. Transient
+// errors retry with simulated-time backoff and escalate the copy to dead on
+// exhaustion; a tape past its failure time aborts the whole sweep, sending
+// its requests back to the pending list to be rerouted to surviving
+// replicas.
+func (e *engine) faultyRead(r *sched.Request, sweep *sched.Sweep) {
+	f := e.flt
+	tape, pos := r.Target.Tape, r.Target.Pos
+	for attempt := 0; ; {
+		e.checkDriveRepair()
+		if f.inj.TapeFailed(tape, e.now) {
+			// The medium died mid-schedule: the locate runs into the failure.
+			loc, _, _ := e.st.Costs.ServeOneParts(e.st.Head, pos)
+			e.advance(loc, &f.faultSec)
+			f.permanent++
+			e.markTapeDown(tape)
+			e.requeueFaulted(r)
+			e.requeueSweep(sweep)
+			return
+		}
+		loc, rd, newHead := e.st.Costs.ServeOneParts(e.st.Head, pos)
+		if f.inj.CopyDead(tape, pos) {
+			// Possible when an earlier request in this sweep escalated the
+			// same position; schedulers never target a copy already dead.
+			e.advance(loc+rd, &f.faultSec)
+			e.st.Head = newHead
+			f.permanent++
+			e.emit(Event{Kind: EventFault, Time: e.now, Tape: tape, Pos: pos,
+				Seconds: loc + rd, Request: r.ID})
+			e.requeueFaulted(r)
+			return
+		}
+		if !f.inj.ReadAttemptFails() {
+			e.advance(loc, &e.locateSec)
+			e.advance(rd, &e.readSec)
+			e.st.Head = newHead
+			if e.now > e.warmupEnd {
+				e.readsPerTape[tape]++
+			}
+			e.emit(Event{Kind: EventRead, Time: e.now, Tape: tape, Pos: pos,
+				Seconds: loc + rd, Request: r.ID})
+			e.complete(r)
+			return
+		}
+		// Transient media error: the attempt consumed the drive anyway.
+		e.advance(loc+rd, &f.faultSec)
+		e.st.Head = newHead
+		f.transient++
+		e.emit(Event{Kind: EventFault, Time: e.now, Tape: tape, Pos: pos,
+			Seconds: loc + rd, Request: r.ID})
+		attempt++
+		if attempt > f.inj.Retry().MaxRetries {
+			f.inj.MarkDead(tape, pos)
+			f.maskDirty = true
+			f.permanent++
+			e.requeueFaulted(r)
+			return
+		}
+		f.retries++
+		e.advance(f.inj.Retry().Delay(attempt), &f.faultSec)
+	}
+}
+
+// faultResult folds the fault metrics into the result.
+func (e *engine) faultResult(res *Result) {
+	res.Availability = 1
+	f := e.flt
+	if f == nil {
+		return
+	}
+	res.Retries = f.retries
+	res.TransientFaults = f.transient
+	res.PermanentFaults = f.permanent
+	res.SwitchFaults = f.switchFlt
+	for _, d := range f.down {
+		if d {
+			res.TapeFailures++
+		}
+	}
+	res.DriveFailures = f.driveFails
+	res.DriveRepairSeconds = f.repairSec
+	res.FaultSeconds = f.faultSec
+	res.Unserviceable = f.unserv
+	res.Rerouted = f.rerouted
+	res.MeanRecoverySec = f.recovery.Mean()
+	if e.completed+f.unservPost > 0 {
+		res.Availability = float64(e.completed) / float64(e.completed+f.unservPost)
+	}
+}

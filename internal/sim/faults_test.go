@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"tapejuke/internal/core"
+	"tapejuke/internal/faults"
+	"tapejuke/internal/sched"
+)
+
+// faultCfg is a partially filled jukebox where every block is hot (so NR
+// replicates everything) under an aggressive tape-failure regime.
+func faultCfg(nr int, fc faults.Config) Config {
+	return Config{
+		BlockMB:        16,
+		TapeCapMB:      7168,
+		Tapes:          10,
+		HotPercent:     100,
+		ReadHotPercent: 100,
+		DataBlocks:     1000,
+		Replicas:       nr,
+		QueueLength:    40,
+		Scheduler:      core.NewEnvelope(core.MaxBandwidth),
+		Horizon:        1_000_000,
+		Seed:           7,
+		Faults:         fc,
+	}
+}
+
+// checkConservation asserts every arrival is accounted for: completed,
+// abandoned as unserviceable, or still outstanding (at most the closed
+// queue length).
+func checkConservation(t *testing.T, res *Result, queue int64) {
+	t.Helper()
+	outstanding := res.TotalArrivals - res.TotalCompleted - res.Unserviceable
+	if outstanding < 0 || outstanding > queue {
+		t.Errorf("conservation broken: %d arrivals, %d completed, %d unserviceable (outstanding %d, queue %d)",
+			res.TotalArrivals, res.TotalCompleted, res.Unserviceable, outstanding, queue)
+	}
+}
+
+// TestNRSweepAvailability is the PR's acceptance experiment: at a fixed
+// tape-failure rate, replication buys availability. Without replicas,
+// requests for blocks on failed tapes are unserviceable; with NR >= 1 they
+// complete via surviving copies.
+func TestNRSweepAvailability(t *testing.T) {
+	fc := faults.Config{TapeMTBFSec: 3_000_000}
+	res := make([]*Result, 3)
+	for nr := 0; nr <= 2; nr++ {
+		r, err := Run(faultCfg(nr, fc))
+		if err != nil {
+			t.Fatalf("NR=%d: %v", nr, err)
+		}
+		res[nr] = r
+		checkConservation(t, r, 40)
+		if r.TapeFailures == 0 {
+			t.Fatalf("NR=%d: no tape failures; the experiment is vacuous", nr)
+		}
+		t.Logf("NR=%d: %d tape failures, availability %.4f, %d unserviceable, %d rerouted",
+			nr, r.TapeFailures, r.Availability, r.Unserviceable, r.Rerouted)
+	}
+	// No replicas: blocks on failed tapes are simply gone.
+	if res[0].Unserviceable == 0 {
+		t.Error("NR=0 with tape failures reported no unserviceable requests")
+	}
+	if res[0].Availability >= 1 {
+		t.Errorf("NR=0 availability = %v, want < 1", res[0].Availability)
+	}
+	// One replica: requests on failed tapes reroute to the surviving copy.
+	if res[1].Rerouted == 0 {
+		t.Error("NR=1 never rerouted a faulted request to a replica")
+	}
+	upFrac := float64(10-res[1].TapeFailures) / 10
+	if res[1].Availability <= upFrac {
+		t.Errorf("NR=1 availability %.4f not above the fault-free-tape fraction %.2f",
+			res[1].Availability, upFrac)
+	}
+	// Availability grows monotonically with the replica count.
+	if res[1].Availability <= res[0].Availability {
+		t.Errorf("availability NR=1 (%.4f) <= NR=0 (%.4f)", res[1].Availability, res[0].Availability)
+	}
+	if res[2].Availability < res[1].Availability {
+		t.Errorf("availability NR=2 (%.4f) < NR=1 (%.4f)", res[2].Availability, res[1].Availability)
+	}
+}
+
+// TestFaultDeterminism: identical seed and config give bit-identical
+// results with every fault class enabled (run under -race in CI).
+func TestFaultDeterminism(t *testing.T) {
+	fc := faults.Config{
+		ReadTransientProb: 0.05,
+		BadBlocksPerTape:  1,
+		TapeMTBFSec:       2_000_000,
+		DriveMTBFSec:      300_000,
+		SwitchFailProb:    0.05,
+	}
+	run := func() *Result {
+		r, err := Run(faultCfg(1, fc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fault runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.TransientFaults == 0 || a.Retries == 0 {
+		t.Errorf("expected transient faults and retries, got %+v", a)
+	}
+}
+
+// TestTransientRetriesRecover: transient errors with a generous retry
+// budget cost time but lose nothing; every request still completes.
+func TestTransientRetriesRecover(t *testing.T) {
+	fc := faults.Config{
+		ReadTransientProb: 0.1,
+		Retry:             faults.RetryPolicy{MaxRetries: 12, BackoffSec: 30, BackoffFactor: 2},
+	}
+	res, err := Run(faultCfg(0, fc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TransientFaults == 0 || res.Retries == 0 || res.FaultSeconds <= 0 {
+		t.Fatalf("expected transient fault activity: %+v", res)
+	}
+	if res.Unserviceable != 0 {
+		t.Errorf("transient-only run abandoned %d requests", res.Unserviceable)
+	}
+	if res.Availability != 1 {
+		t.Errorf("availability = %v, want 1", res.Availability)
+	}
+	checkConservation(t, res, 40)
+}
+
+// TestRetryExhaustionEscalates: near-certain transient errors exhaust the
+// retry budget, escalate copies to dead, and (without replicas) strand
+// requests as unserviceable.
+func TestRetryExhaustionEscalates(t *testing.T) {
+	fc := faults.Config{
+		ReadTransientProb: 0.95,
+		Retry:             faults.RetryPolicy{MaxRetries: 1, BackoffSec: 5, BackoffFactor: 2},
+	}
+	cfg := faultCfg(0, fc)
+	cfg.Horizon = 300_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PermanentFaults == 0 {
+		t.Error("no escalations despite a 95% transient rate and 1 retry")
+	}
+	if res.Unserviceable == 0 {
+		t.Error("escalated single-copy blocks were never abandoned")
+	}
+	checkConservation(t, res, 40)
+}
+
+// TestBadBlocksWithReplicas: pre-existing bad ranges kill copies; with a
+// replica the affected blocks stay serviceable.
+func TestBadBlocksWithReplicas(t *testing.T) {
+	none, err := Run(faultCfg(0, faults.Config{BadBlocksPerTape: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Unserviceable == 0 {
+		t.Error("NR=0 with bad blocks abandoned nothing")
+	}
+	one, err := Run(faultCfg(1, faults.Config{BadBlocksPerTape: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Availability <= none.Availability {
+		t.Errorf("replication did not improve bad-block availability: %.4f vs %.4f",
+			one.Availability, none.Availability)
+	}
+	checkConservation(t, none, 40)
+	checkConservation(t, one, 40)
+}
+
+// TestDriveRepairAccounting: drive failures take the single drive down and
+// the full time decomposition still covers the simulated span.
+func TestDriveRepairAccounting(t *testing.T) {
+	fc := faults.Config{DriveMTBFSec: 100_000, DriveRepairSec: 5_000, ReadTransientProb: 0.02}
+	res, err := Run(faultCfg(0, fc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DriveFailures == 0 || res.DriveRepairSeconds <= 0 {
+		t.Fatalf("expected drive failures over 10 MTBFs: %+v", res)
+	}
+	total := res.LocateSeconds + res.ReadSeconds + res.SwitchSeconds +
+		res.IdleSeconds + res.FaultSeconds + res.DriveRepairSeconds
+	if math.Abs(total-res.SimSeconds) > 1e-6*res.SimSeconds {
+		t.Errorf("time decomposition %v != sim time %v", total, res.SimSeconds)
+	}
+	checkConservation(t, res, 40)
+}
+
+// TestSwitchFaultsRetry: failed loads consume time and are retried.
+func TestSwitchFaultsRetry(t *testing.T) {
+	res, err := Run(faultCfg(0, faults.Config{SwitchFailProb: 0.2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwitchFaults == 0 || res.FaultSeconds <= 0 {
+		t.Fatalf("expected switch faults: %+v", res)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	checkConservation(t, res, 40)
+}
+
+// TestFaultFreeRunHasCleanMetrics: with the fault model off, every fault
+// metric is zero and availability is 1.
+func TestFaultFreeRunHasCleanMetrics(t *testing.T) {
+	res, err := Run(quickCfg(sched.NewDynamic(sched.MaxBandwidth)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 0 || res.TransientFaults != 0 || res.PermanentFaults != 0 ||
+		res.SwitchFaults != 0 || res.TapeFailures != 0 || res.DriveFailures != 0 ||
+		res.FaultSeconds != 0 || res.Unserviceable != 0 || res.Rerouted != 0 {
+		t.Errorf("fault metrics nonzero in a fault-free run: %+v", res)
+	}
+	if res.Availability != 1 {
+		t.Errorf("availability = %v, want 1", res.Availability)
+	}
+}
+
+// TestOpenModelWithFaults: the Poisson workload abandons unserviceable
+// arrivals instead of respawning them.
+func TestOpenModelWithFaults(t *testing.T) {
+	cfg := faultCfg(0, faults.Config{TapeMTBFSec: 1_500_000})
+	cfg.QueueLength = 0
+	cfg.MeanInterarrival = 200
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TapeFailures == 0 {
+		t.Fatal("no tape failures; the run is vacuous")
+	}
+	if res.Unserviceable == 0 {
+		t.Error("open model with dead tapes abandoned nothing")
+	}
+	// Open model: outstanding requests are unbounded but non-negative.
+	if res.TotalCompleted+res.Unserviceable > res.TotalArrivals {
+		t.Errorf("more dispositions than arrivals: %+v", res)
+	}
+}
+
+// TestFaultEventsObserved: the observer sees the new event kinds and they
+// arrive in time order.
+func TestFaultEventsObserved(t *testing.T) {
+	kinds := map[EventKind]int{}
+	last := -1.0
+	cfg := faultCfg(0, faults.Config{ReadTransientProb: 0.1, TapeMTBFSec: 1_000_000})
+	cfg.Observer = ObserverFunc(func(ev Event) {
+		if ev.Time < last {
+			t.Fatalf("event stream out of order: %v after %v", ev.Time, last)
+		}
+		last = ev.Time
+		kinds[ev.Kind]++
+	})
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []EventKind{EventFault, EventTapeFail, EventUnserviceable} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events observed", k)
+		}
+	}
+}
+
+// FuzzFaultConservation drives short runs across the fault-parameter space
+// and asserts the simulator neither errors, nor deadlocks, nor loses
+// requests.
+func FuzzFaultConservation(f *testing.F) {
+	f.Add(int64(1), byte(5), byte(0), byte(0), false, byte(1))
+	f.Add(int64(2), byte(0), byte(10), byte(2), true, byte(0))
+	f.Add(int64(3), byte(50), byte(30), byte(5), true, byte(2))
+	f.Fuzz(func(t *testing.T, seed int64, transient, switchP, badBlocks byte, tapeFail bool, nr byte) {
+		fc := faults.Config{
+			ReadTransientProb: float64(transient%90) / 100,
+			SwitchFailProb:    float64(switchP%90) / 100,
+			BadBlocksPerTape:  float64(badBlocks % 8),
+		}
+		if tapeFail {
+			fc.TapeMTBFSec = 400_000
+		}
+		cfg := faultCfg(int(nr%3), fc)
+		cfg.Seed = seed
+		cfg.Horizon = 150_000
+		cfg.QueueLength = 20
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkConservation(t, res, 20)
+		if res.SimSeconds <= 0 {
+			t.Fatalf("degenerate run: %+v", res)
+		}
+	})
+}

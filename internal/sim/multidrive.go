@@ -17,6 +17,16 @@ type drive struct {
 	opSec    float64        // duration of the in-flight operation
 	switched int            // tape of an in-flight switch, -1 otherwise
 	freeAt   float64        // time the drive next needs attention
+
+	// Fault-model deferrals: an operation's fault outcome is resolved at
+	// issue time (keeping injector draws in deterministic event order) but
+	// its effects are applied when the drive gives up at freeAt, the
+	// discovery time.
+	faulted   *sched.Request   // read failing permanently at freeAt
+	abort     []*sched.Request // requests to requeue at freeAt
+	failTape  int              // tape to mask at freeAt, -1 none
+	loadFail  bool             // failure was a load: unmount and release busy
+	repairing float64          // repair downtime ending at freeAt
 }
 
 // multiEngine simulates a jukebox whose tapes are shared by several
@@ -34,14 +44,54 @@ type multiEngine struct {
 	busy   []bool
 }
 
+// multiAudit, set by tests, verifies the busy-vector/mount consistency
+// after every event-loop step.
+var multiAudit = false
+
+// verifyBusy checks the busy-vector hygiene invariants: a tape mounted in
+// (or being loaded into) a drive is busy for every other drive, no tape is
+// mounted twice, and every busy tape is accounted for by exactly one drive
+// (a release happens exactly once).
+func (m *multiEngine) verifyBusy() error {
+	owners := make(map[int]int)
+	for d := range m.drives {
+		t := m.drives[d].mounted
+		if t < 0 {
+			continue
+		}
+		if prev, dup := owners[t]; dup {
+			return fmt.Errorf("sim: tape %d mounted in drives %d and %d", t, prev, d)
+		}
+		owners[t] = d
+		if !m.busy[t] {
+			return fmt.Errorf("sim: tape %d mounted in drive %d but not busy", t, d)
+		}
+	}
+	busyCount := 0
+	for t := range m.busy {
+		if m.busy[t] {
+			busyCount++
+		}
+	}
+	if busyCount != len(owners) {
+		return fmt.Errorf("sim: %d busy tapes but %d mounted drives", busyCount, len(owners))
+	}
+	return nil
+}
+
 // runMulti drives the multi-drive event loop. The embedded single-drive
 // engine supplies workload generation and metric accounting; st.Mounted,
 // st.Head and st.Active are views swapped per drive around scheduler calls.
 func (m *multiEngine) runMulti() (*Result, error) {
 	for i := range m.drives {
-		m.drives[i] = drive{mounted: -1, switched: -1}
+		m.drives[i] = drive{mounted: -1, switched: -1, failTape: -1}
 	}
 	for {
+		if multiAudit {
+			if err := m.verifyBusy(); err != nil {
+				return nil, err
+			}
+		}
 		// Next drive needing attention.
 		d := -1
 		for i := range m.drives {
@@ -56,6 +106,9 @@ func (m *multiEngine) runMulti() (*Result, error) {
 		}
 		m.advanceClock(dr.freeAt - m.now)
 		m.pumpMulti()
+		if m.flt != nil {
+			m.settleFaults(d)
+		}
 
 		// Report a switch that just finished (events carry completion
 		// times so the stream stays in time order across drives).
@@ -74,6 +127,17 @@ func (m *multiEngine) runMulti() (*Result, error) {
 			if m.cfg.MaxCompletions > 0 && m.completed >= m.cfg.MaxCompletions {
 				return m.result(), nil
 			}
+		}
+
+		// A due drive failure takes the drive down for repair before any
+		// further operation.
+		if m.flt != nil && m.now >= m.flt.inj.DriveFailAt(d) {
+			rep := m.flt.inj.DriveRepair(d, m.now)
+			m.flt.driveFails++
+			m.flt.repairSec += rep
+			dr.repairing = rep
+			dr.freeAt = m.now + rep
+			continue
 		}
 
 		// Start the drive's next operation.
@@ -106,6 +170,10 @@ func (m *multiEngine) runMulti() (*Result, error) {
 			m.busy[tape] = true
 			dr.mounted, dr.head = tape, 0
 			dr.active = sweep
+			if m.flt != nil {
+				m.issueFaultySwitch(d, tape, sw, sweep)
+				continue
+			}
 			dr.freeAt = m.now + sw
 			dr.switched, dr.opSec = tape, sw
 			m.switchSec += sw // bucketed directly; clock advances via freeAt
@@ -139,6 +207,10 @@ func (m *multiEngine) advanceClock(dt float64) {
 func (m *multiEngine) startRead(d int) {
 	dr := &m.drives[d]
 	r := dr.active.Pop()
+	if m.flt != nil {
+		m.startFaultyRead(d, r)
+		return
+	}
 	loc, rd, newHead := m.st.Costs.ServeOneParts(dr.head, r.Target.Pos)
 	dr.head = newHead
 	dr.inFlight = r
@@ -177,6 +249,10 @@ func (m *multiEngine) completeMulti(d int, r *sched.Request) {
 		rt := m.now - r.Arrival
 		m.resp.Add(rt)
 		m.respSample.Add(rt, m.gen.Rand().Int63n)
+		if r.FaultedAt > 0 {
+			m.flt.rerouted++
+			m.flt.recovery.Add(m.now - r.FaultedAt)
+		}
 	}
 	m.emit(Event{Kind: EventComplete, Time: m.now, Tape: r.Target.Tape,
 		Pos: r.Target.Pos, Request: r.ID})
@@ -197,8 +273,16 @@ func (m *multiEngine) pumpMulti() {
 
 // deliverMulti offers a new request to each drive's in-flight sweep in
 // drive order; the first acceptance wins, otherwise the request joins the
-// shared pending list.
+// shared pending list. Requests for blocks with no readable copy left are
+// abandoned, as in the single-drive deliver.
 func (m *multiEngine) deliverMulti(r *sched.Request) {
+	for tries := 0; m.flt != nil && !m.st.Serviceable(r.Block); tries++ {
+		m.unserviceable(r)
+		if !m.arr.Closed() || !m.flt.anyTapeUp() || tries >= 100 {
+			return
+		}
+		r = m.newRequest(m.now)
+	}
 	for d := range m.drives {
 		if m.drives[d].active == nil {
 			continue
@@ -231,6 +315,153 @@ func (m *multiEngine) unbindDrive(d int) {
 	dr := &m.drives[d]
 	dr.active = m.st.Active
 	m.st.Active = nil
+}
+
+// settleFaults applies the deferred effects of drive d's just-finished
+// faulted operation. The failure was resolved when the operation was issued;
+// it is discovered -- masked, requeued, reported -- now that the drive has
+// given up at freeAt.
+func (m *multiEngine) settleFaults(d int) {
+	dr := &m.drives[d]
+	if dr.repairing > 0 {
+		m.emit(Event{Kind: EventDriveRepair, Time: m.now, Tape: -1, Pos: -1, Seconds: dr.repairing})
+		dr.repairing = 0
+	}
+	if dr.failTape >= 0 {
+		m.markTapeDown(dr.failTape)
+		if dr.loadFail {
+			// The cartridge never mounted: the drive is empty and the tape
+			// goes back to the library (released exactly once, here).
+			m.busy[dr.failTape] = false
+			dr.mounted, dr.head = -1, 0
+			dr.loadFail = false
+		}
+		dr.failTape = -1
+	}
+	if dr.faulted != nil {
+		m.flt.permanent++
+		m.emit(Event{Kind: EventFault, Time: m.now, Tape: dr.faulted.Target.Tape,
+			Pos: dr.faulted.Target.Pos, Request: dr.faulted.ID})
+		m.requeueFaulted(dr.faulted)
+		dr.faulted = nil
+	}
+	for i, r := range dr.abort {
+		m.requeueFaulted(r)
+		dr.abort[i] = nil
+	}
+	dr.abort = dr.abort[:0]
+	m.dropUnserviceable()
+}
+
+// startFaultyRead resolves the entire fault story of one read at issue time
+// (all injector draws happen here, in deterministic event order) and
+// schedules the drive to wake when the outcome -- success, permanent
+// failure, or tape-failure discovery -- is known. Unlike the single-drive
+// engine, intermediate transient attempts are counted but not emitted as
+// events, since their interior times fall between drive events.
+func (m *multiEngine) startFaultyRead(d int, r *sched.Request) {
+	f := m.flt
+	dr := &m.drives[d]
+	tape, pos := r.Target.Tape, r.Target.Pos
+	if f.inj.TapeFailed(tape, m.now) {
+		// The medium is dead: the locate runs into the failure and the
+		// whole sweep must be rerouted to surviving replicas.
+		loc, _, _ := m.st.Costs.ServeOneParts(dr.head, pos)
+		f.faultSec += loc
+		f.permanent++
+		dr.opSec = loc
+		dr.freeAt = m.now + loc
+		dr.failTape = tape
+		dr.abort = append(dr.abort, r)
+		for !dr.active.Empty() {
+			dr.abort = append(dr.abort, dr.active.Pop())
+		}
+		dr.active = nil
+		return
+	}
+	total := 0.0
+	head := dr.head
+	for attempt := 0; ; {
+		loc, rd, newHead := m.st.Costs.ServeOneParts(head, pos)
+		head = newHead
+		total += loc + rd
+		if f.inj.CopyDead(tape, pos) {
+			f.faultSec += loc + rd
+			dr.faulted = r
+			break
+		}
+		if !f.inj.ReadAttemptFails() {
+			m.locateSec += loc
+			m.readSec += rd
+			dr.inFlight = r
+			if m.now > m.warmupEnd {
+				m.readsPerTape[tape]++
+			}
+			break
+		}
+		f.faultSec += loc + rd
+		f.transient++
+		attempt++
+		if attempt > f.inj.Retry().MaxRetries {
+			f.inj.MarkDead(tape, pos)
+			f.maskDirty = true
+			dr.faulted = r // settleFaults counts the permanent failure
+			break
+		}
+		f.retries++
+		backoff := f.inj.Retry().Delay(attempt)
+		total += backoff
+		f.faultSec += backoff
+	}
+	dr.head = head
+	dr.opSec = total
+	dr.freeAt = m.now + total
+}
+
+// issueFaultySwitch resolves a tape load under the fault model at issue
+// time. On success the switch completes after the consumed retry attempts
+// plus the final load; on a failed load the drive wakes empty-handed with
+// the tape masked and the extracted sweep requeued (applied in
+// settleFaults). The caller has already marked the tape busy and mounted.
+func (m *multiEngine) issueFaultySwitch(d, tape int, sw float64, sweep *sched.Sweep) {
+	f := m.flt
+	dr := &m.drives[d]
+	wasted := 0.0
+	failed := false
+	if f.inj.TapeFailed(tape, m.now) {
+		// The robot fetches the cartridge and the load fails: discovery.
+		wasted = sw
+		failed = true
+	} else {
+		for attempt := 0; f.inj.SwitchAttemptFails(); {
+			f.switchFlt++
+			wasted += sw
+			attempt++
+			if attempt > f.inj.Retry().MaxRetries {
+				failed = true
+				break
+			}
+			f.retries++
+		}
+	}
+	f.faultSec += wasted
+	if !failed {
+		dr.freeAt = m.now + wasted + sw
+		dr.switched, dr.opSec = tape, sw
+		m.switchSec += sw
+		if m.now > m.warmupEnd {
+			m.switches++
+		}
+		return
+	}
+	dr.opSec = wasted
+	dr.freeAt = m.now + wasted
+	dr.failTape = tape
+	dr.loadFail = true
+	for !sweep.Empty() {
+		dr.abort = append(dr.abort, sweep.Pop())
+	}
+	dr.active = nil
 }
 
 func (m *multiEngine) allIdle() bool {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tapejuke/internal/core"
+	"tapejuke/internal/faults"
 	"tapejuke/internal/sched"
 )
 
@@ -160,4 +161,101 @@ func TestMultiDriveValidation(t *testing.T) {
 	if _, err := Run(cfg); err == nil {
 		t.Error("multi-drive without factory accepted")
 	}
+}
+
+// multiFaultCfg: the faultCfg jukebox driven by several drives.
+func multiFaultCfg(drives, nr int, fc faults.Config) Config {
+	cfg := faultCfg(nr, fc)
+	cfg.Drives = drives
+	cfg.SchedulerFactory = func() sched.Scheduler { return core.NewEnvelope(core.MaxBandwidth) }
+	return cfg
+}
+
+// TestMultiDriveBusyHygiene turns on the whitebox busy-vector audit and
+// runs fault-heavy multi-drive workloads: a tape must stay masked busy for
+// exactly the duration of its in-flight switch, even when the load fails
+// or the tape dies mid-operation.
+func TestMultiDriveBusyHygiene(t *testing.T) {
+	multiAudit = true
+	defer func() { multiAudit = false }()
+	configs := map[string]faults.Config{
+		"fault-free":    {},
+		"switch-faults": {SwitchFailProb: 0.3},
+		"tape-failures": {TapeMTBFSec: 500_000},
+		"everything": {
+			ReadTransientProb: 0.05,
+			SwitchFailProb:    0.15,
+			TapeMTBFSec:       800_000,
+			DriveMTBFSec:      200_000,
+			BadBlocksPerTape:  1,
+		},
+	}
+	for name, fc := range configs {
+		for _, drives := range []int{2, 3} {
+			cfg := multiFaultCfg(drives, 1, fc)
+			cfg.Horizon = 400_000
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s drives=%d: %v", name, drives, err)
+			}
+			if res.TotalCompleted == 0 {
+				t.Errorf("%s drives=%d: nothing completed", name, drives)
+			}
+		}
+	}
+}
+
+// TestMultiDriveFaultDeterminism: the multi-drive engine stays bit-exact
+// under every fault class.
+func TestMultiDriveFaultDeterminism(t *testing.T) {
+	fc := faults.Config{
+		ReadTransientProb: 0.05,
+		SwitchFailProb:    0.1,
+		TapeMTBFSec:       1_500_000,
+		DriveMTBFSec:      300_000,
+		BadBlocksPerTape:  1,
+	}
+	run := func() *Result {
+		r, err := Run(multiFaultCfg(2, 1, fc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("multi-drive fault runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.TransientFaults == 0 || a.SwitchFaults == 0 {
+		t.Errorf("expected fault activity: %+v", a)
+	}
+}
+
+// TestMultiDriveNRSweep: replica-based recovery works with several drives
+// too — requests stranded by a failed tape complete on surviving copies.
+func TestMultiDriveNRSweep(t *testing.T) {
+	fc := faults.Config{TapeMTBFSec: 2_000_000}
+	none, err := Run(multiFaultCfg(2, 0, fc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Run(multiFaultCfg(2, 1, fc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.TapeFailures == 0 {
+		t.Fatal("no tape failures; the experiment is vacuous")
+	}
+	if none.Unserviceable == 0 {
+		t.Error("NR=0 with failed tapes abandoned nothing")
+	}
+	if one.Rerouted == 0 {
+		t.Error("NR=1 never rerouted to a replica")
+	}
+	if one.Availability <= none.Availability {
+		t.Errorf("replication did not improve availability: %.4f vs %.4f",
+			one.Availability, none.Availability)
+	}
+	checkConservation(t, none, 40)
+	checkConservation(t, one, 40)
 }

@@ -15,6 +15,20 @@ const (
 	// EventWriteFlush: buffered delta writes were flushed to tape (the
 	// write-model extension).
 	EventWriteFlush
+	// EventFault: a read or switch attempt failed (Seconds is the drive
+	// time the failed attempt consumed). The single-drive engine reports
+	// every attempt; the multi-drive engine reports only permanent read
+	// failures, at discovery time.
+	EventFault
+	// EventTapeFail: a tape was discovered permanently failed and masked
+	// from all future scheduling.
+	EventTapeFail
+	// EventDriveRepair: a drive failed and completed its repair downtime
+	// (Seconds; Time is the end of the repair).
+	EventDriveRepair
+	// EventUnserviceable: a request was abandoned because every copy of its
+	// block is lost.
+	EventUnserviceable
 )
 
 // String names the event kind.
@@ -30,6 +44,14 @@ func (k EventKind) String() string {
 		return "idle"
 	case EventWriteFlush:
 		return "write-flush"
+	case EventFault:
+		return "fault"
+	case EventTapeFail:
+		return "tape-fail"
+	case EventDriveRepair:
+		return "drive-repair"
+	case EventUnserviceable:
+		return "unserviceable"
 	}
 	return "unknown"
 }

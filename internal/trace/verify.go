@@ -29,12 +29,16 @@ func (r *VerifyReport) OK() bool { return r.Mismatches == 0 }
 //
 // Traces containing write-flush events are rejected (the flush path moves
 // the head through delta-log positions outside the replayed geometry), as
-// are multi-drive traces (interleaved head positions are not replayable on
-// one deck).
+// are fault-model traces (failed attempts and retries move the head in
+// ways the fault-free replay cannot reproduce) and multi-drive traces
+// (interleaved head positions are not replayable on one deck).
 func Verify(recs []Record, prof tapemodel.Positioner, blockMB float64, tapes, capBlocks int, tol float64) (*VerifyReport, error) {
 	for _, r := range recs {
-		if r.Kind == "write-flush" {
+		switch r.Kind {
+		case "write-flush":
 			return nil, fmt.Errorf("trace: verification does not support write-flush traces")
+		case "fault", "tape-fail", "drive-repair", "unserviceable":
+			return nil, fmt.Errorf("trace: verification does not support fault-model traces (%s record)", r.Kind)
 		}
 	}
 	deck, err := jukebox.NewDeck(prof, blockMB, tapes, capBlocks)

@@ -122,3 +122,13 @@ func TestVerifyRejectsUnreplayable(t *testing.T) {
 		t.Error("out-of-range read accepted")
 	}
 }
+
+func TestVerifyRejectsFaultTraces(t *testing.T) {
+	// Fault-model records change drive timing in ways replay cannot check;
+	// verification refuses them outright rather than misverifying.
+	for _, kind := range []string{"fault", "tape-fail", "drive-repair", "unserviceable"} {
+		if _, err := Verify([]Record{{Kind: kind}}, tapemodel.EXB8505XL(), 16, 10, 448, 1e-6); err == nil {
+			t.Errorf("%s trace accepted", kind)
+		}
+	}
+}

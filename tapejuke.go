@@ -124,6 +124,9 @@ type Config struct {
 	// Writes enables the delta-write extension; see WriteConfig.
 	Writes WriteConfig
 
+	// Faults enables the fault-injection extension; see FaultConfig.
+	Faults FaultConfig
+
 	// Observer, when non-nil, receives every simulator event inline. It is
 	// excluded from JSON serialization (live hook, not configuration).
 	Observer Observer `json:"-"`
@@ -245,6 +248,7 @@ func (c Config) toSim() (*sim.Config, error) {
 	if err := c.Writes.toSim(sc); err != nil {
 		return nil, err
 	}
+	sc.Faults = c.Faults.toFaults()
 	return sc, nil
 }
 
