@@ -167,6 +167,10 @@ func main() {
 		fmt.Printf("time breakdown       locate %.0f s, read %.0f s, switch %.0f s, idle %.0f s\n",
 			res.LocateSeconds, res.ReadSeconds, res.SwitchSeconds, res.IdleSeconds)
 		fmt.Printf("mean queue length    %.1f\n", res.MeanQueueLen)
+		if cfg.Writes.MeanInterarrivalSec > 0 {
+			fmt.Printf("writes               %d flushed (%.0f s drive time), mean residence %.0f s, peak buffer %d blocks\n",
+				res.WritesFlushed, res.WriteSeconds, res.MeanWriteDelaySec, res.MaxBufferedWrites)
+		}
 		if cfg.Faults.Enabled() {
 			fmt.Printf("faults               %d transient (%d retries), %d permanent, %d switch; %.0f s lost\n",
 				res.TransientFaults, res.Retries, res.PermanentFaults, res.SwitchFaults, res.FaultSeconds)

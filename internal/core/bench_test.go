@@ -19,7 +19,8 @@ func benchEnvelopeState(b *testing.B, n, nr int) (*sched.State, []*sched.Request
 	if err != nil {
 		b.Fatal(err)
 	}
-	st := &sched.State{Layout: l, Costs: costs(), Mounted: 3, Head: 100}
+	st := sched.NewState(l, costs())
+	st.Mounted, st.Head = 3, 100
 	rng := rand.New(rand.NewSource(11))
 	for i := 0; i < n; i++ {
 		st.Pending = append(st.Pending, &sched.Request{

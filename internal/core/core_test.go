@@ -18,7 +18,9 @@ func stateFor(t *testing.T, l *layout.Layout, mounted, head int) *sched.State {
 	if err := l.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	return &sched.State{Layout: l, Costs: costs(), Mounted: mounted, Head: head}
+	st := sched.NewState(l, costs())
+	st.Mounted, st.Head = mounted, head
+	return st
 }
 
 func addReq(st *sched.State, id int64, b layout.BlockID) *sched.Request {

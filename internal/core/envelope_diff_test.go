@@ -83,7 +83,8 @@ func randomManualState(t *testing.T, rng *rand.Rand) *sched.State {
 	if mounted >= 0 {
 		head = rng.Intn(capBlocks + 1)
 	}
-	st := &sched.State{Layout: l, Costs: costs(), Mounted: mounted, Head: head}
+	st := sched.NewState(l, costs())
+	st.Mounted, st.Head = mounted, head
 	n := 1 + rng.Intn(40)
 	for i := 0; i < n; i++ {
 		st.Pending = append(st.Pending, &sched.Request{
@@ -121,7 +122,8 @@ func randomBuiltState(t *testing.T, rng *rand.Rand) *sched.State {
 	if mounted >= 0 {
 		head = rng.Intn(l.TapeCap() + 1)
 	}
-	st := &sched.State{Layout: l, Costs: costs(), Mounted: mounted, Head: head}
+	st := sched.NewState(l, costs())
+	st.Mounted, st.Head = mounted, head
 	n := 1 + rng.Intn(140)
 	for i := 0; i < n; i++ {
 		st.Pending = append(st.Pending, &sched.Request{

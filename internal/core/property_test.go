@@ -25,7 +25,8 @@ func TestEnvelopeInvariantsProperty(t *testing.T) {
 		}
 		mounted := rng.Intn(10)
 		head := int(headRaw) % 449
-		st := &sched.State{Layout: l, Costs: costs(), Mounted: mounted, Head: head}
+		st := sched.NewState(l, costs())
+		st.Mounted, st.Head = mounted, head
 		n := int(reqRaw)%100 + 1
 		for i := 0; i < n; i++ {
 			st.Pending = append(st.Pending, &sched.Request{
@@ -89,7 +90,7 @@ func TestRescheduleConservationProperty(t *testing.T) {
 			return false
 		}
 		e := NewEnvelope(Variant(int(variantRaw) % 3))
-		st := &sched.State{Layout: l, Costs: costs(), Mounted: -1}
+		st := sched.NewState(l, costs())
 		n := int(reqRaw)%80 + 1
 		ids := make(map[int64]bool)
 		for i := 0; i < n; i++ {

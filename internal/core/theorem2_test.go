@@ -98,7 +98,7 @@ func TestTheorem2BoundEmpirical(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		st := &sched.State{Layout: l, Costs: costs(), Mounted: -1}
+		st := sched.NewState(l, costs())
 		nReq := 3 + rng.Intn(4)
 		for i := 0; i < nReq; i++ {
 			st.Pending = append(st.Pending, &sched.Request{

@@ -99,6 +99,32 @@ func (d *Deck) Mount(tape int) (float64, error) {
 	return sec, nil
 }
 
+// SwitchCost returns the time Mount(tape) would take from the current
+// state, without performing it: zero for the mounted tape, the initial
+// load for an empty drive, otherwise a full switch (rewind, eject, fetch,
+// load) from the current head position.
+func (d *Deck) SwitchCost(tape int) (float64, error) {
+	if tape < 0 || tape >= d.tapes {
+		return 0, fmt.Errorf("jukebox: tape %d out of range [0,%d)", tape, d.tapes)
+	}
+	if tape == d.mounted {
+		return 0, nil
+	}
+	if d.mounted < 0 {
+		return d.prof.InitialLoad(), nil
+	}
+	return d.prof.FullSwitch(d.posMB(d.head)), nil
+}
+
+// Unload empties the drive without time accounting: the cartridge goes
+// back to the library and the head state resets. It models the end of a
+// failed load, where the tape never mounted; the mechanical time was
+// already charged to the failed attempt.
+func (d *Deck) Unload() {
+	d.mounted = -1
+	d.head = 0
+}
+
 // ReadBlock positions to `pos` on the mounted tape and reads one block,
 // returning the elapsed time (locate + transfer).
 func (d *Deck) ReadBlock(pos int) (float64, error) {

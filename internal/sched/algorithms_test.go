@@ -18,11 +18,7 @@ func fixture(t *testing.T, nr int, kind layout.Kind) *State {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &State{
-		Layout:  l,
-		Costs:   &CostModel{Prof: tapemodel.EXB8505XL(), BlockMB: 16},
-		Mounted: -1,
-	}
+	return NewState(l, &CostModel{Prof: tapemodel.EXB8505XL(), BlockMB: 16})
 }
 
 // addReq appends a pending request for block b arriving at time at.

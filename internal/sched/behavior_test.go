@@ -135,11 +135,7 @@ func TestMaxBandwidthPrefersCloserData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := &State{
-		Layout:  l,
-		Costs:   &CostModel{Prof: tapemodel.EXB8505XL(), BlockMB: 16},
-		Mounted: -1,
-	}
+	st := NewState(l, &CostModel{Prof: tapemodel.EXB8505XL(), BlockMB: 16})
 	for i := 0; i < 4; i++ {
 		st.Pending = append(st.Pending, &Request{ID: int64(i), Block: layout.BlockID(i)})
 	}

@@ -25,12 +25,8 @@ func benchState(b *testing.B, n, nr int) *State {
 	if err != nil {
 		b.Fatal(err)
 	}
-	st := &State{
-		Layout:  l,
-		Costs:   &CostModel{Prof: tapemodel.EXB8505XL(), BlockMB: 16},
-		Mounted: 3,
-		Head:    100,
-	}
+	st := NewState(l, &CostModel{Prof: tapemodel.EXB8505XL(), BlockMB: 16})
+	st.Mounted, st.Head = 3, 100
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < n; i++ {
 		st.Pending = append(st.Pending, &Request{

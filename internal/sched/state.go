@@ -4,23 +4,20 @@ import (
 	"tapejuke/internal/layout"
 )
 
-// State is the scheduling view of one drive: the mounted tape and head
-// position, the pending list of unscheduled requests (in arrival order), and
-// the in-flight sweep. The simulation engine owns and mutates it; schedulers
-// read it and carve requests out of the pending list.
-type State struct {
+// Shared is the scheduling state common to every drive of a jukebox: the
+// data layout, the cost model, the arrival-ordered pending list, and the
+// availability masks. A multi-drive jukebox has one Shared and one State
+// view per drive; the single-drive case is simply one view.
+type Shared struct {
 	Layout *layout.Layout
 	Costs  *CostModel
 
-	Mounted int // mounted tape index, or -1 for an empty drive
-	Head    int // head position (block boundary) on the mounted tape
-
 	Pending []*Request // unscheduled requests in arrival order
-	Active  *Sweep     // the sweep currently executing, nil when idle
 
-	// Busy marks tapes unavailable to the major rescheduler (mounted in
-	// other drives of a multi-drive jukebox, the paper's stated future
-	// work). nil means every tape is available.
+	// Busy marks tapes claimed by a drive (mounted, or being loaded): no
+	// other drive may select them. The drive's own mounted tape is marked
+	// here too; Available exempts it. nil means every tape is free (the
+	// single-drive engine never allocates the vector).
 	Busy []bool
 
 	// Down marks tapes that have permanently failed (the fault model's
@@ -34,44 +31,69 @@ type State struct {
 	// unreadable (media bad blocks, or transient errors escalated after
 	// retry exhaustion). Schedulers must not target a dead copy.
 	DeadCopy func(tape, pos int) bool
+}
 
-	Clock float64 // current simulation time (seconds)
+// State is the scheduling view of one drive: the shared jukebox state plus
+// the drive's mounted tape, head position, and in-flight sweep. The
+// simulation engine owns and mutates it; schedulers read it and carve
+// requests out of the pending list.
+type State struct {
+	*Shared
+
+	Mounted int // mounted tape index, or -1 for an empty drive
+	Head    int // head position (block boundary) on the mounted tape
+
+	Active *Sweep // the sweep currently executing on this drive, nil when idle
+}
+
+// NewState builds a single-drive scheduling state (its own Shared) over the
+// given layout and cost model, with an empty drive.
+func NewState(l *layout.Layout, costs *CostModel) *State {
+	return &State{
+		Shared:  &Shared{Layout: l, Costs: costs},
+		Mounted: -1,
+	}
 }
 
 // Up reports whether the tape has not permanently failed.
-func (st *State) Up(tape int) bool {
-	return st.Down == nil || !st.Down[tape]
+func (sh *Shared) Up(tape int) bool {
+	return sh.Down == nil || !sh.Down[tape]
 }
 
 // Available reports whether the major rescheduler may select the tape:
-// neither mounted in another drive nor permanently failed.
+// neither claimed by another drive nor permanently failed. The drive's own
+// mounted tape is marked busy in the shared vector but stays available to
+// this view.
 func (st *State) Available(tape int) bool {
-	return (st.Busy == nil || !st.Busy[tape]) && st.Up(tape)
+	if st.Busy != nil && st.Busy[tape] && tape != st.Mounted {
+		return false
+	}
+	return st.Up(tape)
 }
 
 // CopyOK reports whether the physical copy is readable: its tape is up and
 // the copy itself is not dead. Split so the fault-free path (no masks
 // armed) inlines to two nil checks at every call site; the masked path
 // pays one call.
-func (st *State) CopyOK(c layout.Replica) bool {
-	if st.Down == nil && st.DeadCopy == nil {
+func (sh *Shared) CopyOK(c layout.Replica) bool {
+	if sh.Down == nil && sh.DeadCopy == nil {
 		return true
 	}
-	return st.copyOKMasked(c)
+	return sh.copyOKMasked(c)
 }
 
-func (st *State) copyOKMasked(c layout.Replica) bool {
-	if st.Down != nil && st.Down[c.Tape] {
+func (sh *Shared) copyOKMasked(c layout.Replica) bool {
+	if sh.Down != nil && sh.Down[c.Tape] {
 		return false
 	}
-	return st.DeadCopy == nil || !st.DeadCopy(c.Tape, c.Pos)
+	return sh.DeadCopy == nil || !sh.DeadCopy(c.Tape, c.Pos)
 }
 
 // UsableOn returns block b's copy on the given tape when that copy exists
 // and is readable.
-func (st *State) UsableOn(b layout.BlockID, tape int) (layout.Replica, bool) {
-	c, ok := st.Layout.ReplicaOn(b, tape)
-	if !ok || !st.CopyOK(c) {
+func (sh *Shared) UsableOn(b layout.BlockID, tape int) (layout.Replica, bool) {
+	c, ok := sh.Layout.ReplicaOn(b, tape)
+	if !ok || !sh.CopyOK(c) {
 		return layout.Replica{}, false
 	}
 	return c, true
@@ -79,9 +101,9 @@ func (st *State) UsableOn(b layout.BlockID, tape int) (layout.Replica, bool) {
 
 // Serviceable reports whether at least one readable copy of block b
 // remains anywhere in the jukebox.
-func (st *State) Serviceable(b layout.BlockID) bool {
-	for _, c := range st.Layout.Replicas(b) {
-		if st.CopyOK(c) {
+func (sh *Shared) Serviceable(b layout.BlockID) bool {
+	for _, c := range sh.Layout.Replicas(b) {
+		if sh.CopyOK(c) {
 			return true
 		}
 	}
@@ -96,16 +118,16 @@ type Scheduler interface {
 	Name() string
 
 	// Reschedule selects the tape to service next, extracts the requests it
-	// will serve from st.Pending (setting their Targets), and returns the
-	// tape and the service list. ok is false when nothing can be scheduled
-	// (empty pending list). Reschedule must not mutate st.Mounted/st.Head;
+	// will serve from sh.Pending (setting their Targets), and returns the
+	// tape and the service lish. ok is false when nothing can be scheduled
+	// (empty pending list). Reschedule must not mutate sh.Mounted/sh.Head;
 	// the engine performs the switch.
 	Reschedule(st *State) (tape int, sweep *Sweep, ok bool)
 
 	// OnArrival offers a newly arrived request to the incremental
 	// scheduler while a sweep is executing. It returns true if the request
-	// was inserted into st.Active; on false the engine appends the request
-	// to st.Pending.
+	// was inserted into sh.Active; on false the engine appends the request
+	// to sh.Pending.
 	OnArrival(st *State, r *Request) bool
 }
 
@@ -115,21 +137,21 @@ type Scheduler interface {
 // Schedulers extract requests by filtering the pending list, so `taken` is
 // almost always an ordered subsequence of Pending; that case is handled
 // in place with no allocation. Arbitrary orders fall back to a set.
-func (st *State) RemovePending(taken []*Request) {
+func (sh *Shared) RemovePending(taken []*Request) {
 	if len(taken) == 0 {
 		return
 	}
 	k := 0
-	for _, r := range st.Pending {
+	for _, r := range sh.Pending {
 		if k < len(taken) && r == taken[k] {
 			k++
 		}
 	}
 	if k == len(taken) {
 		// Ordered subsequence: single in-place filtering pass.
-		kept := st.Pending[:0]
+		kept := sh.Pending[:0]
 		k = 0
-		for _, r := range st.Pending {
+		for _, r := range sh.Pending {
 			if k < len(taken) && r == taken[k] {
 				k++
 				continue
@@ -138,35 +160,35 @@ func (st *State) RemovePending(taken []*Request) {
 		}
 		// Zero the tail so dropped requests do not linger in the backing
 		// array.
-		for i := len(kept); i < len(st.Pending); i++ {
-			st.Pending[i] = nil
+		for i := len(kept); i < len(sh.Pending); i++ {
+			sh.Pending[i] = nil
 		}
-		st.Pending = kept
+		sh.Pending = kept
 		return
 	}
 	set := make(map[*Request]bool, len(taken))
 	for _, r := range taken {
 		set[r] = true
 	}
-	kept := st.Pending[:0]
-	for _, r := range st.Pending {
+	kept := sh.Pending[:0]
+	for _, r := range sh.Pending {
 		if !set[r] {
 			kept = append(kept, r)
 		}
 	}
-	for i := len(kept); i < len(st.Pending); i++ {
-		st.Pending[i] = nil
+	for i := len(kept); i < len(sh.Pending); i++ {
+		sh.Pending[i] = nil
 	}
-	st.Pending = kept
+	sh.Pending = kept
 }
 
 // SatisfiableBy returns the pending requests that have a readable replica
 // on the given tape, in arrival order. UsableOn is flattened into the loop
 // so both lookups inline on this hot path.
-func (st *State) SatisfiableBy(tape int) []*Request {
+func (sh *Shared) SatisfiableBy(tape int) []*Request {
 	var out []*Request
-	for _, r := range st.Pending {
-		if c, ok := st.Layout.ReplicaOn(r.Block, tape); ok && st.CopyOK(c) {
+	for _, r := range sh.Pending {
+		if c, ok := sh.Layout.ReplicaOn(r.Block, tape); ok && sh.CopyOK(c) {
 			out = append(out, r)
 		}
 	}
@@ -176,11 +198,11 @@ func (st *State) SatisfiableBy(tape int) []*Request {
 // CountByTape returns, for each tape, the number of pending requests that
 // tape could satisfy. A replicated request is counted on each tape holding
 // a readable copy.
-func (st *State) CountByTape() []int {
-	counts := make([]int, st.Layout.Tapes())
-	for _, r := range st.Pending {
-		for _, c := range st.Layout.Replicas(r.Block) {
-			if st.CopyOK(c) {
+func (sh *Shared) CountByTape() []int {
+	counts := make([]int, sh.Layout.Tapes())
+	for _, r := range sh.Pending {
+		for _, c := range sh.Layout.Replicas(r.Block) {
+			if sh.CopyOK(c) {
 				counts[c.Tape]++
 			}
 		}

@@ -89,14 +89,15 @@ type Config struct {
 	// switches, reads, completions, idle periods, write flushes) inline.
 	Observer Observer
 
-	// Write-model extension (single-drive only): the paper assumes writes
-	// go to disk-resident delta files and reach tape "during idle time or
-	// piggybacked on the read schedule". WriteMeanInterarrival > 0 enables
-	// a Poisson stream of delta-block writes; WriteReserveMB of each tape
-	// (default 256 when writes are enabled) is carved off the end as a
-	// circular delta log; WritePolicy picks when buffers drain; a positive
-	// WriteFlushThreshold force-drains the fullest tape once that many
-	// blocks are buffered.
+	// Write-model extension: the paper assumes writes go to disk-resident
+	// delta files and reach tape "during idle time or piggybacked on the
+	// read schedule". WriteMeanInterarrival > 0 enables a Poisson stream of
+	// delta-block writes; WriteReserveMB of each tape (default 256 when
+	// writes are enabled) is carved off the end as a circular delta log;
+	// WritePolicy picks when buffers drain; a positive WriteFlushThreshold
+	// force-drains the fullest tape once that many blocks are buffered.
+	// The disk buffers are jukebox-wide: with several drives, whichever
+	// drive frees up first picks up an eligible flush.
 	WriteMeanInterarrival float64
 	WritePolicy           WritePolicy
 	WriteReserveMB        float64
@@ -160,9 +161,6 @@ func (c *Config) Validate() error {
 	}
 	if c.WriteMeanInterarrival < 0 {
 		return errors.New("sim: WriteMeanInterarrival must be non-negative")
-	}
-	if c.WriteMeanInterarrival > 0 && c.Drives > 1 {
-		return errors.New("sim: the write extension supports single-drive jukeboxes only")
 	}
 	if c.WriteReserveMB < 0 || (c.WriteReserveMB > 0 && c.WriteReserveMB >= c.TapeCapMB) {
 		return fmt.Errorf("sim: WriteReserveMB %v must leave room for data on a %v MB tape",

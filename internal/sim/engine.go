@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"math"
 
 	"tapejuke/internal/layout"
 	"tapejuke/internal/sched"
@@ -17,28 +16,18 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Drives > 1 {
-		m := &multiEngine{
-			engine: e,
-			drives: make([]drive, cfg.Drives),
-			busy:   make([]bool, cfg.Tapes),
-		}
-		m.st.Busy = make([]bool, cfg.Tapes)
-		for i := 0; i < cfg.Drives; i++ {
-			m.scheds = append(m.scheds, cfg.SchedulerFactory())
-		}
-		m.deliverFn = m.deliverMulti
-		return m.runMulti()
-	}
 	return e.run()
 }
 
-// engine is the state of one in-progress simulation.
+// engine is the state of one in-progress simulation: the shared scheduling
+// state, one drive record per drive, the workload streams, and the metric
+// accumulators. A single-drive jukebox is simply the one-drive case of the
+// same event-calendar kernel (kernel.go).
 type engine struct {
 	cfg     Config
 	prof    tapemodel.Positioner
-	st      *sched.State
-	schd    sched.Scheduler
+	sh      *sched.Shared
+	drives  []drive
 	gen     workload.Source
 	arr     workload.Arrivals
 	nextArr float64 // next undelivered external arrival time (+Inf closed)
@@ -63,12 +52,14 @@ type engine struct {
 
 	readsPerTape []int64
 
+	// Deferred observer events, ordered by (time, push sequence); operations
+	// queue their interior and end-of-operation events at issue time and the
+	// kernel releases them as the clock passes them (kernel.go).
+	evq   eventQueue
+	evSeq int64
+
 	writes *writeState // write-model extension, nil when disabled
 	flt    *faultState // fault-model extension, nil when disabled
-
-	// deliverFn routes a request through the engine's arrival path; the
-	// multi-drive engine overrides it with deliverMulti.
-	deliverFn func(*sched.Request)
 }
 
 func newEngine(cfg Config) (*engine, error) {
@@ -131,22 +122,43 @@ func newEngine(cfg Config) (*engine, error) {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 	}
+	nd := cfg.Drives
+	if nd < 1 {
+		nd = 1
+	}
+	sh := &sched.Shared{
+		Layout: lay,
+		Costs:  &sched.CostModel{Prof: cfg.Profile, BlockMB: cfg.BlockMB},
+	}
+	if nd > 1 {
+		// The busy vector exists only with competing drives; the single-drive
+		// fast path keeps Available to a nil check.
+		sh.Busy = make([]bool, cfg.Tapes)
+	}
 	e := &engine{
 		cfg:          cfg,
 		prof:         cfg.Profile,
-		schd:         cfg.Scheduler,
+		sh:           sh,
+		drives:       make([]drive, nd),
 		gen:          gen,
 		arr:          arr,
 		warmupEnd:    cfg.Horizon * cfg.WarmupFrac,
 		respSample:   stats.NewReservoir(4096),
 		readsPerTape: make([]int64, cfg.Tapes),
-		st: &sched.State{
-			Layout:  lay,
-			Costs:   &sched.CostModel{Prof: cfg.Profile, BlockMB: cfg.BlockMB},
-			Mounted: -1,
-		},
 	}
-	e.deliverFn = e.deliver
+	for i := range e.drives {
+		s := cfg.Scheduler
+		if i > 0 {
+			// Schedulers are stateful; every extra drive gets a fresh
+			// instance of the same algorithm.
+			s = cfg.SchedulerFactory()
+		}
+		e.drives[i] = drive{
+			st:       &sched.State{Shared: sh, Mounted: -1},
+			schd:     s,
+			failTape: -1,
+		}
+	}
 	if err := e.initWrites(capBlocks); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
@@ -156,7 +168,7 @@ func newEngine(cfg Config) (*engine, error) {
 	// Seed the system: closed models start with the full queue present;
 	// open models schedule their first Poisson arrival.
 	for i := 0; i < arr.InitialCount(); i++ {
-		e.st.Pending = append(e.st.Pending, e.newRequest(0))
+		sh.Pending = append(sh.Pending, e.newRequest(0))
 	}
 	e.nextArr = arr.Next()
 	return e, nil
@@ -170,16 +182,8 @@ func (e *engine) newRequest(at float64) *sched.Request {
 	return &sched.Request{ID: e.nextID, Block: e.gen.Next(), Arrival: at}
 }
 
-// advance moves the clock by dt, charging the time to *bucket and
-// accumulating the queue-length integral.
-func (e *engine) advance(dt float64, bucket *float64) {
-	e.queueAreaSec += float64(e.outstanding) * dt
-	e.now += dt
-	*bucket += dt
-}
-
 // pumpArrivals delivers every external arrival due by now: first to the
-// incremental scheduler, else to the pending list.
+// incremental schedulers, else to the pending list.
 func (e *engine) pumpArrivals() {
 	for e.nextArr <= e.now {
 		r := e.newRequest(e.nextArr)
@@ -189,17 +193,23 @@ func (e *engine) pumpArrivals() {
 	e.pumpWrites()
 }
 
-// deliver routes one new request through the incremental scheduler. With
-// the fault model on, a request for a block with no readable copy left is
-// abandoned immediately; a closed-model process then issues a fresh request
-// (the respawn chain is bounded so heavy data loss cannot loop forever).
+// deliver routes one new request through the incremental schedulers: it is
+// offered to each drive executing a sweep, in drive order; the first
+// acceptance wins, otherwise the request joins the shared pending list.
+// With the fault model on, a request for a block with no readable copy left
+// is abandoned immediately; a closed-model process then issues a fresh
+// request (the respawn chain is bounded so heavy data loss cannot loop
+// forever).
 func (e *engine) deliver(r *sched.Request) {
 	for tries := 0; ; tries++ {
-		if e.flt == nil || e.st.Serviceable(r.Block) {
-			if e.st.Active != nil && e.schd.OnArrival(e.st, r) {
-				return
+		if e.flt == nil || e.sh.Serviceable(r.Block) {
+			for i := range e.drives {
+				dr := &e.drives[i]
+				if dr.st.Active != nil && dr.schd.OnArrival(dr.st, r) {
+					return
+				}
 			}
-			e.st.Pending = append(e.st.Pending, r)
+			e.sh.Pending = append(e.sh.Pending, r)
 			return
 		}
 		e.unserviceable(r)
@@ -225,105 +235,11 @@ func (e *engine) complete(r *sched.Request) {
 			e.flt.recovery.Add(e.now - r.FaultedAt)
 		}
 	}
-	e.emit(Event{Kind: EventComplete, Time: e.now, Tape: r.Target.Tape,
+	e.push(Event{Kind: EventComplete, Time: e.now, Tape: r.Target.Tape,
 		Pos: r.Target.Pos, Request: r.ID})
 	if e.arr.Closed() {
 		e.deliver(e.newRequest(e.now))
 	}
-}
-
-func (e *engine) run() (*Result, error) {
-	for e.now < e.cfg.Horizon {
-		if e.flt != nil {
-			e.checkDriveRepair()
-			e.dropUnserviceable()
-		}
-		e.pumpArrivals()
-		if len(e.st.Pending) == 0 {
-			// The write extension uses idle periods to drain delta buffers.
-			if e.idleFlush() {
-				continue
-			}
-			// Idle: wait for the next arrival (step 4 of the service model).
-			if math.IsInf(e.nextArr, 1) {
-				break // closed model with zero queue cannot occur; done
-			}
-			var dt float64
-			if e.nextArr >= e.cfg.Horizon {
-				dt = e.cfg.Horizon - e.now
-			} else {
-				dt = e.nextArr - e.now
-			}
-			if e.writes != nil && e.writes.next < e.now+dt {
-				dt = e.writes.next - e.now // wake early for a buffered write
-			}
-			e.advance(dt, &e.idleSec)
-			e.emit(Event{Kind: EventIdle, Time: e.now, Tape: -1, Pos: -1, Seconds: dt})
-			if e.now >= e.cfg.Horizon {
-				break
-			}
-			continue
-		}
-
-		tape, sweep, ok := e.schd.Reschedule(e.st)
-		if !ok {
-			return nil, fmt.Errorf("sim: scheduler %s failed to schedule %d pending requests",
-				e.schd.Name(), len(e.st.Pending))
-		}
-		if tape != e.st.Mounted {
-			sw := e.st.Costs.SwitchCost(e.st.Mounted, e.st.Head, tape)
-			if e.flt != nil {
-				if !e.faultySwitch(tape, sw) {
-					// The load never succeeded: the target tape is masked
-					// and the extracted sweep goes back to the pending list
-					// to be rerouted to surviving replicas.
-					e.requeueSweep(sweep)
-					continue
-				}
-			} else {
-				e.advance(sw, &e.switchSec)
-				e.st.Mounted, e.st.Head = tape, 0
-				if e.now > e.warmupEnd {
-					e.switches++
-				}
-				e.emit(Event{Kind: EventSwitch, Time: e.now, Tape: tape, Pos: -1, Seconds: sw})
-			}
-		}
-		e.st.Active = sweep
-		// Arrivals that landed during the switch meet the incremental
-		// scheduler now.
-		e.pumpArrivals()
-
-		for !sweep.Empty() && e.now < e.cfg.Horizon {
-			r := sweep.Pop()
-			if e.flt != nil {
-				e.faultyRead(r, sweep)
-			} else {
-				loc, rd, newHead := e.st.Costs.ServeOneParts(e.st.Head, r.Target.Pos)
-				e.advance(loc, &e.locateSec)
-				e.advance(rd, &e.readSec)
-				e.st.Head = newHead
-				if e.now > e.warmupEnd {
-					e.readsPerTape[r.Target.Tape]++
-				}
-				e.emit(Event{Kind: EventRead, Time: e.now, Tape: r.Target.Tape,
-					Pos: r.Target.Pos, Seconds: loc + rd, Request: r.ID})
-				e.complete(r)
-			}
-			e.pumpArrivals()
-			if e.cfg.MaxCompletions > 0 && e.completed >= e.cfg.MaxCompletions {
-				e.st.Active = nil
-				return e.result(), nil
-			}
-		}
-		e.st.Active = nil
-		if e.now < e.cfg.Horizon {
-			e.piggybackFlush()
-		}
-		// The head stays where the last retrieval left it until the next
-		// major reschedule decides on a rewind and switch.
-	}
-	return e.result(), nil
 }
 
 func (e *engine) result() *Result {
@@ -332,7 +248,7 @@ func (e *engine) result() *Result {
 		measured = 0
 	}
 	res := &Result{
-		SchedulerName:   e.schd.Name(),
+		SchedulerName:   e.drives[0].schd.Name(),
 		SimSeconds:      e.now,
 		MeasuredSeconds: measured,
 		Completed:       e.completed,

@@ -15,7 +15,7 @@ import (
 // of nil checks.
 type faultState struct {
 	inj       *faults.Injector
-	down      []bool // shared with st.Down: tapes discovered failed
+	down      []bool // shared with Shared.Down: tapes discovered failed
 	maskDirty bool   // a copy or tape was lost since the last pending scan
 
 	retries    int64
@@ -66,8 +66,8 @@ func (e *engine) initFaults(capBlocks int) error {
 		// readable copy; the first pending scan must abandon those.
 		maskDirty: inj.InjectedBadBlocks() > 0,
 	}
-	e.st.Down = e.flt.down
-	e.st.DeadCopy = inj.CopyDead
+	e.sh.Down = e.flt.down
+	e.sh.DeadCopy = inj.CopyDead
 	return nil
 }
 
@@ -79,7 +79,7 @@ func (e *engine) unserviceable(r *sched.Request) {
 	if e.now > e.warmupEnd {
 		e.flt.unservPost++
 	}
-	e.emit(Event{Kind: EventUnserviceable, Time: e.now, Tape: -1, Pos: -1, Request: r.ID})
+	e.push(Event{Kind: EventUnserviceable, Time: e.now, Tape: -1, Pos: -1, Request: r.ID})
 }
 
 // dropUnserviceable scans the pending list after the copy-availability mask
@@ -92,22 +92,22 @@ func (e *engine) dropUnserviceable() {
 	}
 	e.flt.maskDirty = false
 	dropped := 0
-	kept := e.st.Pending[:0]
-	for _, r := range e.st.Pending {
-		if e.st.Serviceable(r.Block) {
+	kept := e.sh.Pending[:0]
+	for _, r := range e.sh.Pending {
+		if e.sh.Serviceable(r.Block) {
 			kept = append(kept, r)
 			continue
 		}
 		e.unserviceable(r)
 		dropped++
 	}
-	for i := len(kept); i < len(e.st.Pending); i++ {
-		e.st.Pending[i] = nil
+	for i := len(kept); i < len(e.sh.Pending); i++ {
+		e.sh.Pending[i] = nil
 	}
-	e.st.Pending = kept
+	e.sh.Pending = kept
 	if e.arr.Closed() {
 		for ; dropped > 0 && e.flt.anyTapeUp(); dropped-- {
-			e.deliverFn(e.newRequest(e.now))
+			e.deliver(e.newRequest(e.now))
 		}
 	}
 }
@@ -119,7 +119,7 @@ func (e *engine) markTapeDown(tape int) {
 	}
 	e.flt.down[tape] = true
 	e.flt.maskDirty = true
-	e.emit(Event{Kind: EventTapeFail, Time: e.now, Tape: tape, Pos: -1})
+	e.push(Event{Kind: EventTapeFail, Time: e.now, Tape: tape, Pos: -1})
 }
 
 // requeueFaulted returns a request whose chosen copy was lost to the
@@ -131,136 +131,159 @@ func (e *engine) requeueFaulted(r *sched.Request) {
 		r.FaultedAt = e.now
 	}
 	r.Target = layout.Replica{}
-	p := e.st.Pending
+	p := e.sh.Pending
 	i := sort.Search(len(p), func(i int) bool {
 		return p[i].Arrival > r.Arrival || (p[i].Arrival == r.Arrival && p[i].ID > r.ID)
 	})
 	p = append(p, nil)
 	copy(p[i+1:], p[i:])
 	p[i] = r
-	e.st.Pending = p
+	e.sh.Pending = p
 }
 
-// requeueSweep sends every remaining sweep request back to the pending list.
-func (e *engine) requeueSweep(sw *sched.Sweep) {
-	for !sw.Empty() {
-		e.requeueFaulted(sw.Pop())
+// abortSweep moves drive d's remaining sweep (and the failing request r,
+// first) into its deferred requeue list: the scheduler state forgets the
+// sweep immediately, but the pending list sees the requests only when the
+// drive settles at the discovery time.
+func (e *engine) abortSweep(d int, r *sched.Request) {
+	dr := &e.drives[d]
+	if r != nil {
+		dr.abort = append(dr.abort, r)
+	}
+	if dr.st.Active != nil {
+		for !dr.st.Active.Empty() {
+			dr.abort = append(dr.abort, dr.st.Active.Pop())
+		}
+		dr.st.Active = nil
 	}
 }
 
-// checkDriveRepair serves a due single-drive failure: the drive is down for
-// the repair time before any further operation.
-func (e *engine) checkDriveRepair() {
+// resolveFaultyRead issues one sweep request on drive d under the fault
+// model, resolving the entire fault story now: transient errors retry with
+// simulated-time backoff over the virtual clock vt and escalate the copy to
+// dead on exhaustion; a tape past its failure time aborts the whole sweep;
+// a due drive failure inserts its repair before the attempt. Only the
+// completion time goes on the calendar -- requeues and tape masks apply at
+// settle, the discovery time.
+func (e *engine) resolveFaultyRead(d int, r *sched.Request) {
 	f := e.flt
-	if e.now < f.inj.DriveFailAt(0) {
-		return
-	}
-	rep := f.inj.DriveRepair(0, e.now)
-	f.driveFails++
-	e.advance(rep, &f.repairSec)
-	e.emit(Event{Kind: EventDriveRepair, Time: e.now, Tape: -1, Pos: -1, Seconds: rep})
-}
-
-// faultySwitch performs a tape switch under the fault model. Load attempts
-// may fail with the configured probability, each consuming the mechanical
-// time, retried up to the policy bound; a tape past its failure time is
-// discovered dead at load. It returns false with the drive left empty and
-// the target tape masked when the load never succeeds.
-func (e *engine) faultySwitch(tape int, sw float64) bool {
-	f := e.flt
-	for attempt := 0; ; {
-		if f.inj.TapeFailed(tape, e.now) {
-			// The robot fetches the cartridge and the load fails for good:
-			// this is how an unmounted tape's death is discovered.
-			e.advance(sw, &f.faultSec)
-			e.st.Mounted, e.st.Head = -1, 0
-			e.markTapeDown(tape)
-			return false
-		}
-		if !f.inj.SwitchAttemptFails() {
-			e.advance(sw, &e.switchSec)
-			e.st.Mounted, e.st.Head = tape, 0
-			if e.now > e.warmupEnd {
-				e.switches++
-			}
-			e.emit(Event{Kind: EventSwitch, Time: e.now, Tape: tape, Pos: -1, Seconds: sw})
-			return true
-		}
-		f.switchFlt++
-		e.advance(sw, &f.faultSec)
-		e.emit(Event{Kind: EventFault, Time: e.now, Tape: tape, Pos: -1, Seconds: sw})
-		attempt++
-		if attempt > f.inj.Retry().MaxRetries {
-			// The loader cannot mount the cartridge; treat it as damaged.
-			e.st.Mounted, e.st.Head = -1, 0
-			e.markTapeDown(tape)
-			return false
-		}
-		f.retries++
-	}
-}
-
-// faultyRead serves one sweep request under the fault model. Transient
-// errors retry with simulated-time backoff and escalate the copy to dead on
-// exhaustion; a tape past its failure time aborts the whole sweep, sending
-// its requests back to the pending list to be rerouted to surviving
-// replicas.
-func (e *engine) faultyRead(r *sched.Request, sweep *sched.Sweep) {
-	f := e.flt
+	dr := &e.drives[d]
+	st := dr.st
 	tape, pos := r.Target.Tape, r.Target.Pos
+	vt := e.now
 	for attempt := 0; ; {
-		e.checkDriveRepair()
-		if f.inj.TapeFailed(tape, e.now) {
-			// The medium died mid-schedule: the locate runs into the failure.
-			loc, _, _ := e.st.Costs.ServeOneParts(e.st.Head, pos)
-			e.advance(loc, &f.faultSec)
+		if vt >= f.inj.DriveFailAt(d) {
+			rep := f.inj.DriveRepair(d, vt)
+			f.driveFails++
+			f.repairSec += rep
+			vt += rep
+			e.push(Event{Kind: EventDriveRepair, Time: vt, Tape: -1, Pos: -1, Seconds: rep})
+		}
+		if f.inj.TapeFailed(tape, vt) {
+			// The medium died mid-schedule: the locate runs into the failure
+			// and the rest of the sweep is rerouted to surviving replicas.
+			loc, _, _ := e.sh.Costs.ServeOneParts(st.Head, pos)
+			vt += loc
+			f.faultSec += loc
 			f.permanent++
-			e.markTapeDown(tape)
-			e.requeueFaulted(r)
-			e.requeueSweep(sweep)
+			dr.failTape = tape
+			e.abortSweep(d, r)
+			e.beginOp(d, vt, true)
 			return
 		}
-		loc, rd, newHead := e.st.Costs.ServeOneParts(e.st.Head, pos)
+		loc, rd, newHead := e.sh.Costs.ServeOneParts(st.Head, pos)
 		if f.inj.CopyDead(tape, pos) {
 			// Possible when an earlier request in this sweep escalated the
 			// same position; schedulers never target a copy already dead.
-			e.advance(loc+rd, &f.faultSec)
-			e.st.Head = newHead
+			vt += loc + rd
+			f.faultSec += loc + rd
+			st.Head = newHead
 			f.permanent++
-			e.emit(Event{Kind: EventFault, Time: e.now, Tape: tape, Pos: pos,
+			e.push(Event{Kind: EventFault, Time: vt, Tape: tape, Pos: pos,
 				Seconds: loc + rd, Request: r.ID})
-			e.requeueFaulted(r)
+			dr.faulted = r
+			e.beginOp(d, vt, true)
 			return
 		}
 		if !f.inj.ReadAttemptFails() {
-			e.advance(loc, &e.locateSec)
-			e.advance(rd, &e.readSec)
-			e.st.Head = newHead
-			if e.now > e.warmupEnd {
+			vt += loc
+			e.locateSec += loc
+			vt += rd
+			e.readSec += rd
+			st.Head = newHead
+			if vt > e.warmupEnd {
 				e.readsPerTape[tape]++
 			}
-			e.emit(Event{Kind: EventRead, Time: e.now, Tape: tape, Pos: pos,
+			e.push(Event{Kind: EventRead, Time: vt, Tape: tape, Pos: pos,
 				Seconds: loc + rd, Request: r.ID})
-			e.complete(r)
+			dr.inFlight = r
+			e.beginOp(d, vt, true)
 			return
 		}
 		// Transient media error: the attempt consumed the drive anyway.
-		e.advance(loc+rd, &f.faultSec)
-		e.st.Head = newHead
+		vt += loc + rd
+		f.faultSec += loc + rd
+		st.Head = newHead
 		f.transient++
-		e.emit(Event{Kind: EventFault, Time: e.now, Tape: tape, Pos: pos,
+		e.push(Event{Kind: EventFault, Time: vt, Tape: tape, Pos: pos,
 			Seconds: loc + rd, Request: r.ID})
 		attempt++
 		if attempt > f.inj.Retry().MaxRetries {
 			f.inj.MarkDead(tape, pos)
 			f.maskDirty = true
 			f.permanent++
-			e.requeueFaulted(r)
+			dr.faulted = r
+			e.beginOp(d, vt, true)
 			return
 		}
 		f.retries++
-		e.advance(f.inj.Retry().Delay(attempt), &f.faultSec)
+		bo := f.inj.Retry().Delay(attempt)
+		vt += bo
+		f.faultSec += bo
 	}
+}
+
+// resolveFaultySwitch issues drive d's tape switch under the fault model.
+// Load attempts may fail with the configured probability, each consuming
+// the mechanical time, retried up to the policy bound; a tape past its
+// failure time is discovered dead at load. When the load never succeeds,
+// the drive ends the operation empty and the tape is masked at settle.
+func (e *engine) resolveFaultySwitch(d int, tape int, sw float64) {
+	f := e.flt
+	dr := &e.drives[d]
+	vt := e.now
+	for attempt := 0; ; {
+		if f.inj.TapeFailed(tape, vt) {
+			// The robot fetches the cartridge and the load fails for good:
+			// this is how an unmounted tape's death is discovered.
+			vt += sw
+			f.faultSec += sw
+			break
+		}
+		if !f.inj.SwitchAttemptFails() {
+			vt += sw
+			e.switchSec += sw
+			if vt > e.warmupEnd {
+				e.switches++
+			}
+			e.push(Event{Kind: EventSwitch, Time: vt, Tape: tape, Pos: -1, Seconds: sw})
+			e.beginOp(d, vt, true)
+			return
+		}
+		f.switchFlt++
+		vt += sw
+		f.faultSec += sw
+		e.push(Event{Kind: EventFault, Time: vt, Tape: tape, Pos: -1, Seconds: sw})
+		attempt++
+		if attempt > f.inj.Retry().MaxRetries {
+			// The loader cannot mount the cartridge; treat it as damaged.
+			break
+		}
+		f.retries++
+	}
+	dr.failTape, dr.loadFail = tape, true
+	e.abortSweep(d, nil)
+	e.beginOp(d, vt, false)
 }
 
 // faultResult folds the fault metrics into the result.

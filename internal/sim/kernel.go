@@ -1,0 +1,378 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"tapejuke/internal/sched"
+)
+
+// This file is the event-calendar kernel shared by every drive count. Each
+// drive is a record with a wake time: the kernel repeatedly advances the
+// clock to the earliest busy drive's completion, settles that operation's
+// deferred effects, delivers due arrivals, and issues new operations on
+// every free drive. A single-drive jukebox is the one-record case of the
+// same loop, replacing the synchronous engine and the separate multi-drive
+// engine that preceded it.
+//
+// Operations resolve their random outcome at issue time -- all injector and
+// workload draws happen in deterministic order -- accumulating a virtual
+// clock over attempt segments; only the completion time is placed on the
+// calendar. State effects that other drives must not see early (tape masks,
+// requeues, completions) are deferred to the settle at the discovery time.
+
+// drive is one tape drive: its scheduling view (sharing the jukebox-wide
+// Shared state), its scheduler instance, and the operation in flight.
+type drive struct {
+	st   *sched.State
+	schd sched.Scheduler
+
+	busy   bool    // an operation is in flight, finishing at freeAt
+	freeAt float64 // completion time of the in-flight operation
+	pump   bool    // deliver due arrivals after this settle even past the horizon
+
+	inFlight *sched.Request // request whose read completes at freeAt
+
+	// Fault-model deferrals: the outcome was resolved at issue time but its
+	// effects apply when the drive gives up at freeAt, the discovery time.
+	faulted  *sched.Request   // read failing permanently at freeAt
+	abort    []*sched.Request // requests to requeue at freeAt
+	failTape int              // tape to mask at freeAt, -1 none
+	loadFail bool             // failure was a load: unmount and release busy
+}
+
+// multiAudit, set by tests, verifies busy-vector/mount consistency at every
+// kernel step of a multi-drive run.
+var multiAudit = false
+
+// run is the kernel loop. Per wake: deliver work and issue operations on
+// free drives, then either settle the earliest completion or, with every
+// drive empty-handed, sleep until the next arrival.
+func (e *engine) run() (*Result, error) {
+	for {
+		if multiAudit && e.sh.Busy != nil {
+			if err := e.verifyBusy(); err != nil {
+				return nil, err
+			}
+		}
+		if e.now < e.cfg.Horizon {
+			e.pumpArrivals()
+			if e.cfg.MaxCompletions > 0 && e.completed >= e.cfg.MaxCompletions {
+				e.flushEvents()
+				return e.result(), nil
+			}
+			for i := range e.drives {
+				if !e.drives[i].busy {
+					if err := e.issue(i); err != nil {
+						return nil, err
+					}
+				}
+			}
+			e.flushEvents()
+		}
+
+		d := e.nextSettle()
+		if d < 0 {
+			// Nothing in flight anywhere.
+			if e.now >= e.cfg.Horizon {
+				break
+			}
+			if len(e.sh.Pending) > 0 && len(e.drives) == 1 {
+				return nil, fmt.Errorf("sim: scheduler %s failed to schedule %d pending requests",
+					e.drives[0].schd.Name(), len(e.sh.Pending))
+			}
+			wake := e.nextArr
+			if e.writes != nil && e.writes.next < wake {
+				wake = e.writes.next
+			}
+			if math.IsInf(wake, 1) {
+				break // closed model with nothing left to do
+			}
+			var dt float64
+			if wake >= e.cfg.Horizon {
+				dt = e.cfg.Horizon - e.now
+			} else {
+				dt = wake - e.now
+			}
+			e.idleSec += dt
+			e.advanceClock(e.now + dt)
+			e.push(Event{Kind: EventIdle, Time: e.now, Tape: -1, Pos: -1, Seconds: dt})
+			e.flushEvents()
+			if e.now >= e.cfg.Horizon {
+				break
+			}
+			continue
+		}
+
+		e.advanceClock(e.drives[d].freeAt)
+		e.flushEvents()
+		pumpAfter := e.settle(d)
+		if e.now >= e.cfg.Horizon && pumpAfter {
+			// Arrivals that landed during an overshooting read or switch are
+			// still delivered (they count as arrivals even though no further
+			// operation starts).
+			e.pumpArrivals()
+		}
+		e.flushEvents()
+	}
+	e.flushEvents()
+	return e.result(), nil
+}
+
+// advanceClock moves wall-clock time to target, accumulating the
+// queue-length integral. Activity buckets are charged at issue time,
+// segment by segment; idle time is charged only by the idle branch of the
+// kernel loop, when no drive has an operation in flight.
+func (e *engine) advanceClock(target float64) {
+	if target <= e.now {
+		return
+	}
+	e.queueAreaSec += float64(e.outstanding) * (target - e.now)
+	e.now = target
+}
+
+// nextSettle returns the busy drive with the earliest completion (lowest
+// index on ties), or -1 when every drive is free.
+func (e *engine) nextSettle() int {
+	d := -1
+	for i := range e.drives {
+		if e.drives[i].busy && (d < 0 || e.drives[i].freeAt < e.drives[d].freeAt) {
+			d = i
+		}
+	}
+	return d
+}
+
+// beginOp places drive d's just-resolved operation on the calendar.
+func (e *engine) beginOp(d int, freeAt float64, pumpAfter bool) {
+	dr := &e.drives[d]
+	dr.busy = true
+	dr.freeAt = freeAt
+	dr.pump = pumpAfter
+}
+
+// settle applies the deferred effects of drive d's finished operation at
+// the discovery time e.now == freeAt: tape masks, sweep requeues, and the
+// completion itself. It reports whether due arrivals should be delivered
+// even past the horizon (reads and successful switches; see run).
+func (e *engine) settle(d int) bool {
+	dr := &e.drives[d]
+	dr.busy = false
+	pumpAfter := dr.pump
+	dr.pump = false
+	st := dr.st
+	if dr.failTape >= 0 {
+		e.markTapeDown(dr.failTape)
+		if dr.loadFail {
+			// The cartridge never mounted: the drive is empty and the tape
+			// goes back to the library (released exactly once, here).
+			if e.sh.Busy != nil {
+				e.sh.Busy[dr.failTape] = false
+			}
+			st.Mounted, st.Head = -1, 0
+			dr.loadFail = false
+		}
+		dr.failTape = -1
+	}
+	if dr.faulted != nil {
+		e.requeueFaulted(dr.faulted)
+		dr.faulted = nil
+	}
+	for i, r := range dr.abort {
+		e.requeueFaulted(r)
+		dr.abort[i] = nil
+	}
+	dr.abort = dr.abort[:0]
+	if r := dr.inFlight; r != nil {
+		dr.inFlight = nil
+		e.complete(r)
+	}
+	return pumpAfter
+}
+
+// issue starts drive d's next operation: a due repair, the next read of its
+// sweep, a delta-write flush, or a major reschedule with its tape switch.
+// The drive stays free when there is nothing it can do.
+func (e *engine) issue(d int) error {
+	dr := &e.drives[d]
+	if e.now >= e.cfg.Horizon {
+		return nil
+	}
+	st := dr.st
+	if st.Active != nil {
+		if !st.Active.Empty() {
+			// Mid-sweep, a due drive failure binds to the next read attempt
+			// (resolveFaultyRead inserts the repair before the attempt).
+			e.startRead(d)
+			return nil
+		}
+		st.Active = nil
+		// The sweep just drained: the write extension may piggyback a flush
+		// on the mounted tape before the next major reschedule.
+		if e.piggybackOp(d) {
+			return nil
+		}
+	}
+	if e.flt != nil {
+		// Between sweeps, a due drive failure takes the drive down for
+		// repair before any further operation; the pending-hygiene scan
+		// waits until the drive is back.
+		if e.now >= e.flt.inj.DriveFailAt(d) {
+			rep := e.flt.inj.DriveRepair(d, e.now)
+			e.flt.driveFails++
+			e.flt.repairSec += rep
+			e.beginOp(d, e.now+rep, false)
+			e.push(Event{Kind: EventDriveRepair, Time: dr.freeAt, Tape: -1, Pos: -1, Seconds: rep})
+			return nil
+		}
+		e.dropUnserviceable()
+	}
+	if len(e.sh.Pending) == 0 {
+		e.idleFlushOp(d)
+		return nil
+	}
+	tape, sweep, ok := dr.schd.Reschedule(st)
+	if !ok {
+		// Every candidate tape is claimed by another drive (or FIFO's oldest
+		// request is pinned to one); retry at the next wake. The one-drive
+		// case cannot unblock itself: the idle branch reports it.
+		return nil
+	}
+	if e.sh.Busy != nil && e.sh.Busy[tape] && tape != st.Mounted {
+		return fmt.Errorf("sim: scheduler %s selected busy tape %d", dr.schd.Name(), tape)
+	}
+	if tape != st.Mounted {
+		sw := e.sh.Costs.SwitchCost(st.Mounted, st.Head, tape)
+		if e.sh.Busy != nil {
+			if st.Mounted >= 0 {
+				e.sh.Busy[st.Mounted] = false
+			}
+			e.sh.Busy[tape] = true
+		}
+		st.Mounted, st.Head = tape, 0
+		st.Active = sweep
+		if e.flt != nil {
+			e.resolveFaultySwitch(d, tape, sw)
+			return nil
+		}
+		vt := e.now + sw
+		e.switchSec += sw
+		if vt > e.warmupEnd {
+			e.switches++
+		}
+		e.push(Event{Kind: EventSwitch, Time: vt, Tape: tape, Pos: -1, Seconds: sw})
+		e.beginOp(d, vt, true)
+		return nil
+	}
+	st.Active = sweep
+	e.startRead(d)
+	return nil
+}
+
+// startRead pops the drive's next sweep request and issues its retrieval,
+// resolving the completion time (and, under the fault model, the whole
+// fault story) now.
+func (e *engine) startRead(d int) {
+	dr := &e.drives[d]
+	st := dr.st
+	r := st.Active.Pop()
+	if e.flt != nil {
+		e.resolveFaultyRead(d, r)
+		return
+	}
+	loc, rd, newHead := e.sh.Costs.ServeOneParts(st.Head, r.Target.Pos)
+	vt := e.now
+	vt += loc
+	e.locateSec += loc
+	vt += rd
+	e.readSec += rd
+	st.Head = newHead
+	if vt > e.warmupEnd {
+		e.readsPerTape[r.Target.Tape]++
+	}
+	e.push(Event{Kind: EventRead, Time: vt, Tape: r.Target.Tape,
+		Pos: r.Target.Pos, Seconds: loc + rd, Request: r.ID})
+	dr.inFlight = r
+	e.beginOp(d, vt, true)
+}
+
+// verifyBusy checks the busy-vector hygiene invariants: every mounted (or
+// loading) tape is busy, no tape is mounted twice, and every busy tape is
+// accounted for by exactly one drive (a release happens exactly once).
+func (e *engine) verifyBusy() error {
+	owners := make(map[int]int)
+	for d := range e.drives {
+		t := e.drives[d].st.Mounted
+		if t < 0 {
+			continue
+		}
+		if prev, dup := owners[t]; dup {
+			return fmt.Errorf("sim: tape %d mounted in drives %d and %d", t, prev, d)
+		}
+		owners[t] = d
+		if !e.sh.Busy[t] {
+			return fmt.Errorf("sim: tape %d mounted in drive %d but not busy", t, d)
+		}
+	}
+	busyCount := 0
+	for t := range e.sh.Busy {
+		if e.sh.Busy[t] {
+			busyCount++
+		}
+	}
+	if busyCount != len(owners) {
+		return fmt.Errorf("sim: %d busy tapes but %d mounted drives", busyCount, len(owners))
+	}
+	return nil
+}
+
+// queuedEvent pairs an event with its push sequence so simultaneous events
+// release in push order.
+type queuedEvent struct {
+	ev  Event
+	seq int64
+}
+
+// eventQueue is a min-heap on (time, sequence).
+type eventQueue []queuedEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].ev.Time != q[j].ev.Time {
+		return q[i].ev.Time < q[j].ev.Time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(queuedEvent)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = queuedEvent{}
+	*q = old[:n-1]
+	return it
+}
+
+// push queues an event for the observer. Events may be pushed with future
+// timestamps (an operation's interior attempts and completion, resolved at
+// issue time); flushEvents releases them once the clock catches up, keeping
+// the observed stream in global time order across drives.
+func (e *engine) push(ev Event) {
+	if e.cfg.Observer == nil {
+		return
+	}
+	e.evSeq++
+	heap.Push(&e.evq, queuedEvent{ev: ev, seq: e.evSeq})
+}
+
+// flushEvents delivers every queued event due by now.
+func (e *engine) flushEvents() {
+	if e.cfg.Observer == nil {
+		return
+	}
+	for len(e.evq) > 0 && e.evq[0].ev.Time <= e.now {
+		e.cfg.Observer.Observe(heap.Pop(&e.evq).(queuedEvent).ev)
+	}
+}

@@ -16,9 +16,8 @@ const (
 	// write-model extension).
 	EventWriteFlush
 	// EventFault: a read or switch attempt failed (Seconds is the drive
-	// time the failed attempt consumed). The single-drive engine reports
-	// every attempt; the multi-drive engine reports only permanent read
-	// failures, at discovery time.
+	// time the failed attempt consumed). Every attempt is reported, at the
+	// simulated time the attempt ends, regardless of drive count.
 	EventFault
 	// EventTapeFail: a tape was discovered permanently failed and masked
 	// from all future scheduling.
@@ -77,10 +76,3 @@ type ObserverFunc func(Event)
 
 // Observe calls f(e).
 func (f ObserverFunc) Observe(e Event) { f(e) }
-
-// emit reports an event to the configured observer, if any.
-func (e *engine) emit(ev Event) {
-	if e.cfg.Observer != nil {
-		e.cfg.Observer.Observe(ev)
-	}
-}

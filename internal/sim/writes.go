@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"tapejuke/internal/sched"
 	"tapejuke/internal/stats"
 	"tapejuke/internal/workload"
 )
@@ -10,8 +11,11 @@ import (
 // during idle time or piggybacked on the read schedule" (Section 4). This
 // file implements that write path as an extension so the claim can be
 // exercised: delta writes buffer on disk at no cost to the requester and
-// drain to per-tape delta logs either when the drive is already on the
-// right tape (piggyback) or when the jukebox would otherwise idle.
+// drain to per-tape delta logs either when a drive is already on the
+// right tape (piggyback) or when the jukebox would otherwise idle. The
+// buffers are jukebox-wide; with several drives, whichever drive frees up
+// first picks up the flush, claiming the target tape through the shared
+// busy vector like any other operation.
 
 // WritePolicy selects when buffered delta writes drain to tape.
 type WritePolicy int
@@ -20,8 +24,8 @@ const (
 	// WritePiggyback appends a tape's buffered deltas to the read schedule
 	// whenever a sweep on that tape finishes.
 	WritePiggyback WritePolicy = iota
-	// WriteIdleOnly flushes only while the jukebox is idle (open-queuing
-	// models; a closed jukebox never idles).
+	// WriteIdleOnly flushes only while the drive has nothing to read
+	// (open-queuing models; a closed jukebox never idles).
 	WriteIdleOnly
 	// WritePiggybackAndIdle does both.
 	WritePiggybackAndIdle
@@ -93,7 +97,7 @@ func (e *engine) pumpWrites() {
 	}
 	for w.next <= e.now {
 		blk := e.gen.Next()
-		tape := e.st.Layout.Replicas(blk)[0].Tape
+		tape := e.sh.Layout.Replicas(blk)[0].Tape
 		w.buffer[tape] = append(w.buffer[tape], pendingWrite{arrival: w.next, tape: tape})
 		w.buffered++
 		if w.buffered > w.maxBuffer {
@@ -103,14 +107,16 @@ func (e *engine) pumpWrites() {
 	}
 }
 
-// flushTape drains the mounted tape's buffered deltas into its delta log:
-// locate to the append cursor, then stream the blocks out. Write transfer
-// time is modelled with the read-transfer segments (helical-scan drives
-// read and write at the same streaming rate).
-func (e *engine) flushTape(tape int) {
+// resolveFlush drains the mounted tape's buffered deltas into its delta
+// log over the virtual clock vt: locate to the append cursor, then stream
+// the blocks out. Write transfer time is modelled with the read-transfer
+// segments (helical-scan drives read and write at the same streaming
+// rate). Returns the advanced virtual clock.
+func (e *engine) resolveFlush(st *sched.State, vt float64) float64 {
 	w := e.writes
-	if w == nil || tape != e.st.Mounted || len(w.buffer[tape]) == 0 {
-		return
+	tape := st.Mounted
+	if w == nil || tape < 0 || len(w.buffer[tape]) == 0 {
+		return vt
 	}
 	batch := w.buffer[tape]
 	w.buffer[tape] = nil
@@ -119,22 +125,93 @@ func (e *engine) flushTape(tape int) {
 	for _, pw := range batch {
 		pos := w.logStart + w.logCursor[tape]
 		w.logCursor[tape] = (w.logCursor[tape] + 1) % w.logBlocks
-		loc, wr, newHead := e.st.Costs.ServeOneParts(e.st.Head, pos)
-		e.advance(loc+wr, &w.flushSec)
-		e.st.Head = newHead
+		loc, wr, newHead := e.sh.Costs.ServeOneParts(st.Head, pos)
+		vt += loc + wr
+		w.flushSec += loc + wr
+		st.Head = newHead
 		w.flushed++
-		if e.now > e.warmupEnd {
-			w.delay.Add(e.now - pw.arrival)
+		if vt > e.warmupEnd {
+			w.delay.Add(vt - pw.arrival)
 		}
 	}
 	w.flushCount++
-	e.emit(Event{Kind: EventWriteFlush, Time: e.now, Tape: tape, Pos: e.st.Head,
+	e.push(Event{Kind: EventWriteFlush, Time: vt, Tape: tape, Pos: st.Head,
 		Seconds: 0, Request: int64(len(batch))})
+	return vt
 }
 
-// idleFlush services the largest write buffer while the jukebox has nothing
-// to read (open model idle periods). It returns true if it did work.
-func (e *engine) idleFlush() bool {
+// fullestAvailable returns the tape with the largest write buffer among
+// those drive state st may claim, or -1 when every buffered tape is held
+// by another drive.
+func (e *engine) fullestAvailable(st *sched.State) int {
+	w := e.writes
+	best, n := -1, 0
+	for t, buf := range w.buffer {
+		if len(buf) > n && st.Available(t) {
+			best, n = t, len(buf)
+		}
+	}
+	return best
+}
+
+// switchForFlush moves the drive to a flush target over the virtual clock.
+// Flush switches charge switch time and count but emit no EventSwitch:
+// they are housekeeping, not scheduled retrievals.
+func (e *engine) switchForFlush(st *sched.State, tape int, vt float64) float64 {
+	sw := e.sh.Costs.SwitchCost(st.Mounted, st.Head, tape)
+	vt += sw
+	e.switchSec += sw
+	if vt > e.warmupEnd {
+		e.switches++
+	}
+	if e.sh.Busy != nil {
+		if st.Mounted >= 0 {
+			e.sh.Busy[st.Mounted] = false
+		}
+		e.sh.Busy[tape] = true
+	}
+	st.Mounted, st.Head = tape, 0
+	return vt
+}
+
+// piggybackOp runs the after-sweep write work on drive d: drain the
+// mounted tape's buffer when the policy piggybacks, and force-drain the
+// fullest available tape when the total buffer exceeds the threshold.
+// Returns whether an operation was issued.
+func (e *engine) piggybackOp(d int) bool {
+	w := e.writes
+	if w == nil {
+		return false
+	}
+	st := e.drives[d].st
+	vt := e.now
+	did := false
+	if e.cfg.WritePolicy == WritePiggyback || e.cfg.WritePolicy == WritePiggybackAndIdle {
+		if st.Mounted >= 0 && len(w.buffer[st.Mounted]) > 0 {
+			vt = e.resolveFlush(st, vt)
+			did = true
+		}
+	}
+	if e.cfg.WriteFlushThreshold > 0 && w.buffered >= e.cfg.WriteFlushThreshold {
+		// Overflow protection: take the switch hit for the fullest tape.
+		if best := e.fullestAvailable(st); best >= 0 {
+			if best != st.Mounted {
+				vt = e.switchForFlush(st, best, vt)
+			}
+			vt = e.resolveFlush(st, vt)
+			did = true
+		}
+	}
+	if did {
+		e.beginOp(d, vt, false)
+	}
+	return did
+}
+
+// idleFlushOp services the largest available write buffer on drive d while
+// it has nothing to read (open-model idle periods). Returns whether an
+// operation was issued.
+func (e *engine) idleFlushOp(d int) bool {
 	w := e.writes
 	if w == nil || w.buffered == 0 {
 		return false
@@ -142,54 +219,16 @@ func (e *engine) idleFlush() bool {
 	if e.cfg.WritePolicy != WriteIdleOnly && e.cfg.WritePolicy != WritePiggybackAndIdle {
 		return false
 	}
-	best, n := -1, 0
-	for t, buf := range w.buffer {
-		if len(buf) > n {
-			best, n = t, len(buf)
-		}
-	}
+	st := e.drives[d].st
+	best := e.fullestAvailable(st)
 	if best < 0 {
 		return false
 	}
-	if best != e.st.Mounted {
-		sw := e.st.Costs.SwitchCost(e.st.Mounted, e.st.Head, best)
-		e.advance(sw, &e.switchSec)
-		e.st.Mounted, e.st.Head = best, 0
-		if e.now > e.warmupEnd {
-			e.switches++
-		}
+	vt := e.now
+	if best != st.Mounted {
+		vt = e.switchForFlush(st, best, vt)
 	}
-	e.flushTape(best)
+	vt = e.resolveFlush(st, vt)
+	e.beginOp(d, vt, false)
 	return true
-}
-
-// piggybackFlush drains the mounted tape's buffer after a sweep when the
-// policy allows, and force-drains any tape whose buffer exceeds the
-// threshold.
-func (e *engine) piggybackFlush() {
-	w := e.writes
-	if w == nil {
-		return
-	}
-	if e.cfg.WritePolicy == WritePiggyback || e.cfg.WritePolicy == WritePiggybackAndIdle {
-		e.flushTape(e.st.Mounted)
-	}
-	if e.cfg.WriteFlushThreshold > 0 && w.buffered >= e.cfg.WriteFlushThreshold {
-		// Overflow protection: take the switch hit for the fullest tape.
-		best, n := -1, 0
-		for t, buf := range w.buffer {
-			if len(buf) > n {
-				best, n = t, len(buf)
-			}
-		}
-		if best >= 0 && best != e.st.Mounted {
-			sw := e.st.Costs.SwitchCost(e.st.Mounted, e.st.Head, best)
-			e.advance(sw, &e.switchSec)
-			e.st.Mounted, e.st.Head = best, 0
-			if e.now > e.warmupEnd {
-				e.switches++
-			}
-		}
-		e.flushTape(best)
-	}
 }

@@ -27,18 +27,23 @@ func (r *VerifyReport) OK() bool { return r.Mismatches == 0 }
 // seconds. It is an integrity check: a trace that fails either was recorded
 // under different parameters or has been altered.
 //
+// Fault-model traces replay too: a failed read attempt ("fault" with a
+// block position) consumes the same locate and transfer as a successful
+// read and moves the head through the target; a failed load attempt
+// ("fault" at position -1) consumes a switch without moving the deck; a
+// "tape-fail" on an unmounted tape marks the end of a failed load (the
+// drive ends empty), while one on the mounted tape leaves the dead tape in
+// the drive. Repair, idle, completion, and unserviceable records carry no
+// drive geometry and are skipped.
+//
 // Traces containing write-flush events are rejected (the flush path moves
 // the head through delta-log positions outside the replayed geometry), as
-// are fault-model traces (failed attempts and retries move the head in
-// ways the fault-free replay cannot reproduce) and multi-drive traces
-// (interleaved head positions are not replayable on one deck).
+// are multi-drive traces (interleaved head positions are not replayable on
+// one deck).
 func Verify(recs []Record, prof tapemodel.Positioner, blockMB float64, tapes, capBlocks int, tol float64) (*VerifyReport, error) {
 	for _, r := range recs {
-		switch r.Kind {
-		case "write-flush":
+		if r.Kind == "write-flush" {
 			return nil, fmt.Errorf("trace: verification does not support write-flush traces")
-		case "fault", "tape-fail", "drive-repair", "unserviceable":
-			return nil, fmt.Errorf("trace: verification does not support fault-model traces (%s record)", r.Kind)
 		}
 	}
 	deck, err := jukebox.NewDeck(prof, blockMB, tapes, capBlocks)
@@ -79,6 +84,37 @@ func Verify(recs []Record, prof tapemodel.Positioner, blockMB float64, tapes, ca
 			}
 			rep.Operations++
 			note(i, "read", got, r.Seconds)
+		case "fault":
+			if r.Pos < 0 {
+				// Failed load attempt: the mechanics run but the deck state
+				// does not change, so every retry costs the same switch.
+				got, err := deck.SwitchCost(r.Tape)
+				if err != nil {
+					return nil, fmt.Errorf("trace: record %d: %w", i, err)
+				}
+				rep.Operations++
+				note(i, "fault-switch", got, r.Seconds)
+				continue
+			}
+			// Failed read attempt: locate and transfer run in full and the
+			// head ends past the target, exactly like a successful read.
+			if deck.Mounted() != r.Tape {
+				return nil, fmt.Errorf("trace: record %d faults on tape %d but tape %d is mounted (multi-drive trace?)",
+					i, r.Tape, deck.Mounted())
+			}
+			got, err := deck.ReadBlock(r.Pos)
+			if err != nil {
+				return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			}
+			rep.Operations++
+			note(i, "fault-read", got, r.Seconds)
+		case "tape-fail":
+			if deck.Mounted() != r.Tape {
+				// The death was discovered at load: the cartridge never
+				// mounted and the drive ends empty. (A death discovered
+				// mid-read leaves the dead tape in the drive.)
+				deck.Unload()
+			}
 		}
 	}
 	return rep, nil

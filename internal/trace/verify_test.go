@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"tapejuke/internal/faults"
 	"tapejuke/internal/sched"
 	"tapejuke/internal/sim"
 	"tapejuke/internal/tapemodel"
@@ -123,12 +124,76 @@ func TestVerifyRejectsUnreplayable(t *testing.T) {
 	}
 }
 
-func TestVerifyRejectsFaultTraces(t *testing.T) {
-	// Fault-model records change drive timing in ways replay cannot check;
-	// verification refuses them outright rather than misverifying.
-	for _, kind := range []string{"fault", "tape-fail", "drive-repair", "unserviceable"} {
-		if _, err := Verify([]Record{{Kind: kind}}, tapemodel.EXB8505XL(), 16, 10, 448, 1e-6); err == nil {
-			t.Errorf("%s trace accepted", kind)
+// faultTrace records a single-drive run with every fault class enabled.
+func faultTrace(t *testing.T) []Record {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	_, err := sim.Run(sim.Config{
+		BlockMB: 16, TapeCapMB: 7168, Tapes: 10,
+		HotPercent: 100, ReadHotPercent: 100,
+		DataBlocks: 1000, Replicas: 1,
+		QueueLength: 40,
+		Scheduler:   sched.NewDynamic(sched.MaxBandwidth),
+		Horizon:     300_000, Seed: 1,
+		Faults: faults.Config{
+			ReadTransientProb: 0.05,
+			SwitchFailProb:    0.1,
+			TapeMTBFSec:       400_000,
+			DriveMTBFSec:      150_000,
+			BadBlocksPerTape:  1,
+		},
+		Observer: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// A fault-model trace replays: failed read attempts move the head through
+// the target like successful reads, failed loads cost a switch without
+// moving the deck, and a load-discovered tape death empties the drive.
+func TestVerifyFaultTrace(t *testing.T) {
+	recs := faultTrace(t)
+	kinds := map[string]int{}
+	for _, r := range recs {
+		kinds[r.Kind]++
+	}
+	if kinds["fault"] == 0 || kinds["tape-fail"] == 0 {
+		t.Fatalf("trace exercised no faults: %v", kinds)
+	}
+	rep, err := Verify(recs, tapemodel.EXB8505XL(), 16, 10, 448, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("fault trace failed verification: %+v", rep)
+	}
+	if rep.Operations <= kinds["read"] {
+		t.Errorf("replayed %d operations; fault attempts (%d) not verified",
+			rep.Operations, kinds["fault"])
+	}
+}
+
+func TestVerifyDetectsTamperedFault(t *testing.T) {
+	recs := faultTrace(t)
+	for i := range recs {
+		if recs[i].Kind == "fault" {
+			recs[i].Seconds += 3
+			break
 		}
+	}
+	rep, err := Verify(recs, tapemodel.EXB8505XL(), 16, 10, 448, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Error("tampered fault attempt verified")
 	}
 }
