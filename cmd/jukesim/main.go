@@ -48,6 +48,21 @@ func main() {
 		driveRepair = flag.Float64("fault-drive-repair", 0, "drive repair downtime seconds (default 3600 when enabled)")
 		switchFail  = flag.Float64("fault-switch", 0, "tape load failure probability per attempt")
 		faultSeed   = flag.Int64("fault-seed", 0, "fault stream seed (0 = derive from -seed)")
+		hotTTL      = flag.Float64("deadline-hot-ttl", 0, "mean TTL seconds for hot-block requests (0 = no deadline)")
+		coldTTL     = flag.Float64("deadline-cold-ttl", 0, "mean TTL seconds for cold-block requests (0 = no deadline)")
+		fixedTTL    = flag.Bool("deadline-fixed", false, "use the TTL means as exact deadlines instead of exponential draws")
+		admitMax    = flag.Int("admit-max-queue", 0, "outstanding-request admission bound (0 = unbounded)")
+		admitPolicy = flag.String("admit-policy", "none", "admission overflow policy: none, reject, shed")
+		burstFactor = flag.Float64("burst-factor", 0, "arrival-rate multiplier while bursting")
+		burstOnFrac = flag.Float64("burst-on-frac", 0, "fraction of an ON-OFF cycle spent bursting (open model)")
+		burstPeriod = flag.Float64("burst-period", 0, "mean ON-OFF cycle seconds (0 = no modulation; open model)")
+		flashAt     = flag.Float64("burst-flash-at", 0, "flash-crowd start time in seconds")
+		flashLen    = flag.Float64("burst-flash-len", 0, "flash-crowd window seconds (open model)")
+		flashCount  = flag.Int("burst-flash-count", 0, "one-shot flash-crowd request count (closed model)")
+		ageWeight   = flag.Float64("age-weight", 0, "starvation-aware aging weight in tape selection (0 = off)")
+		degradeQ    = flag.Int("degrade-queue", 0, "outstanding-request threshold for graceful degradation (0 = off)")
+		degradeMax  = flag.Int("degrade-max-sweep", 0, "truncate sweeps to this many requests while overloaded")
+		degradeDW   = flag.Bool("degrade-defer-writes", false, "defer delta-write flushes while overloaded")
 		format      = flag.String("format", "text", "output format: text or csv")
 		analytic    = flag.Bool("analytic", false, "also print the closed-form estimate (no-replication closed models)")
 		configPath  = flag.String("config", "", "load the full configuration from a JSON file (other workload flags are ignored)")
@@ -60,6 +75,19 @@ func main() {
 			fmt.Println(a)
 		}
 		return
+	}
+
+	var admit tapejuke.AdmitPolicy
+	switch strings.ToLower(*admitPolicy) {
+	case "", "none":
+		admit = tapejuke.AdmitNone
+	case "reject":
+		admit = tapejuke.AdmitReject
+	case "shed", "shed-oldest":
+		admit = tapejuke.AdmitShed
+	default:
+		fmt.Fprintf(os.Stderr, "jukesim: unknown admission policy %q\n", *admitPolicy)
+		os.Exit(1)
 	}
 
 	cfg := tapejuke.Config{
@@ -93,6 +121,29 @@ func main() {
 			SwitchFailProb:    *switchFail,
 			Seed:              *faultSeed,
 		},
+		Deadlines: tapejuke.DeadlineConfig{
+			HotTTL:  *hotTTL,
+			ColdTTL: *coldTTL,
+			Fixed:   *fixedTTL,
+		},
+		Admission: tapejuke.AdmissionConfig{
+			MaxQueue: *admitMax,
+			Policy:   admit,
+		},
+		Burst: tapejuke.BurstConfig{
+			Factor:     *burstFactor,
+			OnFrac:     *burstOnFrac,
+			Period:     *burstPeriod,
+			FlashAt:    *flashAt,
+			FlashLen:   *flashLen,
+			FlashCount: *flashCount,
+		},
+		Degrade: tapejuke.DegradeConfig{
+			QueueThreshold: *degradeQ,
+			MaxSweep:       *degradeMax,
+			DeferWrites:    *degradeDW,
+		},
+		AgeWeight: *ageWeight,
 	}
 	if *interarrive > 0 {
 		cfg.QueueLength = 0
@@ -151,10 +202,11 @@ func main() {
 
 	switch strings.ToLower(*format) {
 	case "csv":
-		fmt.Println("scheduler,throughput_kbps,req_per_min,mean_response_s,p95_response_s,tape_switches,mean_queue")
-		fmt.Printf("%s,%.2f,%.4f,%.1f,%.1f,%d,%.1f\n",
+		fmt.Println("scheduler,throughput_kbps,req_per_min,mean_response_s,p50_response_s,p95_response_s,p99_response_s,tape_switches,mean_queue,deadline_miss_rate,shed,rejected")
+		fmt.Printf("%s,%.2f,%.4f,%.1f,%.1f,%.1f,%.1f,%d,%.1f,%.4f,%d,%d\n",
 			res.SchedulerName, res.ThroughputKBps, res.RequestsPerMinute,
-			res.MeanResponseSec, res.P95ResponseSec, res.TapeSwitches, res.MeanQueueLen)
+			res.MeanResponseSec, res.P50ResponseSec, res.P95ResponseSec, res.P99ResponseSec,
+			res.TapeSwitches, res.MeanQueueLen, res.DeadlineMissRate, res.Shed, res.Rejected)
 	default:
 		stream, _ := tapejuke.StreamingRateKBps(*profile)
 		fmt.Printf("scheduler            %s\n", res.SchedulerName)
@@ -162,8 +214,8 @@ func main() {
 		fmt.Printf("completed            %d requests (%d switches)\n", res.Completed, res.TapeSwitches)
 		fmt.Printf("throughput           %.1f KB/s (%.1f%% of streaming)\n", res.ThroughputKBps, 100*res.ThroughputKBps/stream)
 		fmt.Printf("requests/minute      %.3f\n", res.RequestsPerMinute)
-		fmt.Printf("response time        mean %.1f s, p95 %.1f s, max %.1f s\n",
-			res.MeanResponseSec, res.P95ResponseSec, res.MaxResponseSec)
+		fmt.Printf("response time        mean %.1f s, p50 %.1f s, p95 %.1f s, p99 %.1f s, max %.1f s\n",
+			res.MeanResponseSec, res.P50ResponseSec, res.P95ResponseSec, res.P99ResponseSec, res.MaxResponseSec)
 		fmt.Printf("time breakdown       locate %.0f s, read %.0f s, switch %.0f s, idle %.0f s\n",
 			res.LocateSeconds, res.ReadSeconds, res.SwitchSeconds, res.IdleSeconds)
 		fmt.Printf("mean queue length    %.1f\n", res.MeanQueueLen)
@@ -178,6 +230,21 @@ func main() {
 				res.TapeFailures, res.DriveFailures, res.DriveRepairSeconds)
 			fmt.Printf("availability         %.4f (%d unserviceable, %d rerouted, mean recovery %.1f s)\n",
 				res.Availability, res.Unserviceable, res.Rerouted, res.MeanRecoverySec)
+		}
+		if cfg.Deadlines.Enabled() {
+			fmt.Printf("deadlines            %d expired, %d late completions, miss rate %.4f\n",
+				res.Expired, res.LateCompletions, res.DeadlineMissRate)
+		}
+		if cfg.Admission.Enabled() {
+			fmt.Printf("admission            %d shed, %d rejected (bound %d, policy %s)\n",
+				res.Shed, res.Rejected, cfg.Admission.MaxQueue, cfg.Admission.Policy)
+		}
+		if cfg.Deadlines.Enabled() || cfg.Admission.Enabled() {
+			fmt.Printf("max queue age        %.0f s\n", res.MaxQueueAgeSec)
+		}
+		if cfg.Degrade.Enabled() {
+			fmt.Printf("degradation          %d truncated sweeps, %d deferred flushes\n",
+				res.TruncatedSweeps, res.DeferredFlushes)
 		}
 	}
 }

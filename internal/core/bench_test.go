@@ -121,6 +121,48 @@ func BenchmarkEnvelopeRescheduleFaultHooks(b *testing.B) {
 	}
 }
 
+// BenchmarkEnvelopeRescheduleWithAging measures the overload extension's
+// cost at the major reschedule: requests carry arrivals and deadlines and
+// the aged tape-selection window is active. The "w=0" case is the PR's perf
+// gate -- with the weight at zero the aged code must not run at all, so it
+// stays within noise of the plain BenchmarkEnvelopeReschedule cases.
+func BenchmarkEnvelopeRescheduleWithAging(b *testing.B) {
+	cases := []struct {
+		name   string
+		q      int
+		nr     int
+		weight float64
+	}{
+		{"w=0/q=140", 140, 4, 0},
+		{"w=1/q=140", 140, 4, 1},
+		{"w=1/repl=9", 60, 9, 1},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			st, saved := benchEnvelopeState(b, tc.q, tc.nr)
+			rng := rand.New(rand.NewSource(17))
+			for i, r := range saved {
+				r.Arrival = float64(i) * 10
+				if i%2 == 0 {
+					r.Deadline = r.Arrival + 500 + rng.Float64()*5000
+				}
+			}
+			st.Now = float64(len(saved)) * 10
+			st.AgeWeight = tc.weight
+			e := NewEnvelope(MaxBandwidth)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, ok := e.Reschedule(st); !ok {
+					b.Fatal("reschedule failed")
+				}
+				st.Pending = st.Pending[:0]
+				st.Pending = append(st.Pending, saved...)
+			}
+		})
+	}
+}
+
 func BenchmarkEnvelopeOnArrival(b *testing.B) {
 	st, _ := benchEnvelopeState(b, 60, 9)
 	e := NewEnvelope(MaxBandwidth)

@@ -174,6 +174,27 @@ func (e *Envelope) OnArrival(st *sched.State, r *sched.Request) bool {
 	return false
 }
 
+// OnEvict tells the scheduler the engine cancelled r (deadline expiry) out
+// of the drive's in-flight sweep. When r was scheduled on the mounted tape,
+// the envelope boundary tightens to the remaining sweep's reach -- the head
+// plus whatever is still scheduled ahead of it -- without a full rebuild, so
+// incremental arrivals no longer ride through positions the sweep will never
+// visit. Implements the engine's optional evictor hook.
+func (e *Envelope) OnEvict(st *sched.State, r *sched.Request) {
+	if e.env == nil || st.Mounted < 0 || r.Target.Tape != st.Mounted {
+		return
+	}
+	edge := st.Head
+	if st.Active != nil {
+		if m := st.Active.MaxPos(); m+1 > edge {
+			edge = m + 1
+		}
+	}
+	if edge < e.env[st.Mounted] {
+		e.env[st.Mounted] = edge
+	}
+}
+
 // replicaInside returns block b's copy on `tape` when that copy lies inside
 // the envelope and is readable. UsableOn is flattened here so the readable
 // check inlines in the per-request extraction loop.
@@ -226,6 +247,44 @@ func (e *Envelope) selectTape(st *sched.State, env []int) (int, bool) {
 			}
 		}
 		candidate = func(t int) bool { return onTape[t] && len(sets[t]) > 0 && st.Available(t) }
+	}
+
+	if st.AgeWeight > 0 {
+		// Starvation-aware aging: restrict the choice to tapes whose
+		// in-envelope set holds a request in the urgency window (the same
+		// cut as the simple policies, over in-envelope requests). If no tape
+		// passes both the base predicate and the window -- possible for the
+		// oldest-request variant, whose oldest request may be out-urged by a
+		// young near-deadline one -- fall back to the base predicate so a
+		// schedulable system always schedules.
+		maxU := 0.0
+		for t := range sets {
+			for _, r := range sets[t] {
+				if u := st.Urgency(r); u > maxU {
+					maxU = u
+				}
+			}
+		}
+		cut := maxU * st.AgeWeight / (1 + st.AgeWeight)
+		base := candidate
+		aged := func(t int) bool {
+			if !base(t) {
+				return false
+			}
+			for _, r := range sets[t] {
+				if st.Urgency(r) >= cut {
+					return true
+				}
+			}
+			return false
+		}
+		any := false
+		for t := 0; t < n && !any; t++ {
+			any = aged(t)
+		}
+		if any {
+			candidate = aged
+		}
 	}
 
 	best, bestScore := -1, -1.0

@@ -49,6 +49,9 @@ func SelectTape(st *State, p Policy) (tape int, ok bool) {
 	if len(st.Pending) == 0 {
 		return 0, false
 	}
+	if st.AgeWeight > 0 {
+		return selectTapeAged(st, p)
+	}
 	switch p {
 	case RoundRobin:
 		return selectRoundRobin(st)
@@ -60,6 +63,104 @@ func SelectTape(st *State, p Policy) (tape int, ok bool) {
 		return selectByCount(st, oldestTapes(st))
 	case OldestMaxBandwidth:
 		return selectByBandwidth(st, oldestTapes(st))
+	}
+	return 0, false
+}
+
+// selectTapeAged applies the policy with its tape choice restricted to the
+// aged candidate set: tapes holding a readable copy of a request whose
+// urgency is within AgeWeight/(1+AgeWeight) of the pending maximum. The
+// oldest-request policies intersect their oldest-set with the aged set and
+// fall back to the plain oldest-set when the intersection is empty, so their
+// starvation guarantee is never weakened by aging.
+func selectTapeAged(st *State, p Policy) (int, bool) {
+	aged := agedTapes(st)
+	switch p {
+	case RoundRobin:
+		return selectRoundRobinAmong(st, aged)
+	case MaxRequests:
+		return selectByCount(st, aged)
+	case MaxBandwidth:
+		return selectByBandwidth(st, aged)
+	case OldestMaxRequests:
+		return selectByCount(st, intersectOldest(st, aged))
+	case OldestMaxBandwidth:
+		return selectByBandwidth(st, intersectOldest(st, aged))
+	}
+	return 0, false
+}
+
+// agedTapes lists the tapes holding a readable copy of at least one request
+// in the urgency window [cut, max], where cut = max * AgeWeight/(1+AgeWeight).
+// Weight zero admits every tape with a request (plain policy); the limit of
+// large weights admits only tapes serving the most urgent request.
+func agedTapes(st *State) []int {
+	maxU := 0.0
+	for _, r := range st.Pending {
+		if u := st.Urgency(r); u > maxU {
+			maxU = u
+		}
+	}
+	cut := maxU * st.AgeWeight / (1 + st.AgeWeight)
+	mark := make([]bool, st.Layout.Tapes())
+	for _, r := range st.Pending {
+		if st.Urgency(r) < cut {
+			continue
+		}
+		for _, c := range st.Layout.Replicas(r.Block) {
+			if st.CopyOK(c) {
+				mark[c.Tape] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(mark))
+	for t, m := range mark {
+		if m {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// intersectOldest intersects the aged candidate set with the tapes able to
+// serve the oldest pending request, falling back to the latter when the
+// intersection is empty (a young near-deadline request can out-urge the
+// oldest one; the oldest-request policies still serve the oldest).
+func intersectOldest(st *State, aged []int) []int {
+	old := oldestTapes(st)
+	inAged := make(map[int]bool, len(aged))
+	for _, t := range aged {
+		inAged[t] = true
+	}
+	var out []int
+	for _, t := range old {
+		if inAged[t] {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		return old
+	}
+	return out
+}
+
+// selectRoundRobinAmong picks the first candidate tape in jukebox order
+// after the mounted tape, the aged analogue of selectRoundRobin.
+func selectRoundRobinAmong(st *State, candidates []int) (int, bool) {
+	inCand := make(map[int]bool, len(candidates))
+	for _, t := range candidates {
+		inCand[t] = true
+	}
+	n := st.Layout.Tapes()
+	start := 0
+	if st.Mounted >= 0 {
+		start = st.Mounted + 1
+	}
+	for i := 0; i < n; i++ {
+		t := (start + i) % n
+		if inCand[t] && st.Available(t) {
+			return t, true
+		}
 	}
 	return 0, false
 }

@@ -24,4 +24,24 @@ type Request struct {
 	// to measure recovery latency when a surviving replica later serves the
 	// request.
 	FaultedAt float64
+
+	// Deadline, when positive, is the absolute simulation time by which the
+	// request must complete; a request still unserved at its deadline is
+	// cancelled by the engine (deadline expiry). Zero means no deadline.
+	Deadline float64
+
+	// Expired marks a request cancelled by deadline expiry. The engine sets
+	// it; schedulers never see expired requests (they are removed from the
+	// pending list and any sweep at expiry time).
+	Expired bool
+
+	// Done marks a request that has left the system (completed, expired, or
+	// unserviceable). The engine's deadline calendar uses it for lazy
+	// deletion.
+	Done bool
+
+	// Ephemeral marks a closed-model flash-crowd extra: unlike the fixed
+	// process population, its completion or expiry does not respawn a
+	// replacement request.
+	Ephemeral bool
 }

@@ -31,6 +31,41 @@ type Shared struct {
 	// unreadable (media bad blocks, or transient errors escalated after
 	// retry exhaustion). Schedulers must not target a dead copy.
 	DeadCopy func(tape, pos int) bool
+
+	// Now is the current simulation time, maintained by the engine. Only the
+	// aging term reads it; with AgeWeight zero it is never consulted.
+	Now float64
+
+	// AgeWeight enables starvation-aware aging in tape selection: a policy
+	// restricts its choice to tapes that can serve a request whose urgency
+	// (see Urgency) is at least AgeWeight/(1+AgeWeight) of the maximum over
+	// the pending list. Zero disables aging and leaves every policy
+	// bit-identical to the unaged implementation; the limit of large weights
+	// converges on the paper's oldest-request restriction.
+	AgeWeight float64
+}
+
+// slackFloor bounds deadline slack away from zero so the urgency of a
+// request at (or past) its deadline stays finite.
+const slackFloor = 1e-9
+
+// Urgency scores how badly a pending request needs service at Shared.Now:
+// its age for deadline-free requests, and age scaled by TTL/slack for
+// deadlined ones, so a request nearing its deadline dominates an older
+// request with time to spare. Used by the aging tape-selection term.
+func (sh *Shared) Urgency(r *Request) float64 {
+	age := sh.Now - r.Arrival
+	if age < 0 {
+		age = 0
+	}
+	if r.Deadline <= 0 {
+		return age
+	}
+	slack := r.Deadline - sh.Now
+	if slack < slackFloor {
+		slack = slackFloor
+	}
+	return age * (r.Deadline - r.Arrival) / slack
 }
 
 // State is the scheduling view of one drive: the shared jukebox state plus

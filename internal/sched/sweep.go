@@ -152,6 +152,26 @@ func (s *Sweep) insertReverse(r *Request) {
 	s.Reverse[i] = r
 }
 
+// Remove deletes r (matched by pointer identity) from the sweep, preserving
+// the order of the remaining requests. It reports whether r was present.
+// The engine uses it to cancel deadline-expired requests out of in-flight
+// sweeps without rebuilding the schedule.
+func (s *Sweep) Remove(r *Request) bool {
+	for i, q := range s.Forward {
+		if q == r {
+			s.Forward = append(s.Forward[:i], s.Forward[i+1:]...)
+			return true
+		}
+	}
+	for i, q := range s.Reverse {
+		if q == r {
+			s.Reverse = append(s.Reverse[:i], s.Reverse[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // MaxPos returns the highest position remaining in the sweep, or -1 when the
 // sweep is empty. The envelope incremental scheduler uses it to detect
 // whether an insertion extends the traversed prefix.

@@ -110,7 +110,134 @@ type Config struct {
 	// Faults.Seed is zero the fault streams derive from Seed+3, keeping
 	// fault and workload randomness independent.
 	Faults faults.Config
+
+	// Overload-robustness extensions. Each zero value disables its layer;
+	// with all four off and AgeWeight zero the engine is bit-identical to
+	// the overload-free simulator (the golden tests pin this).
+	Deadlines DeadlineConfig
+	Admission AdmissionConfig
+	Burst     BurstConfig
+	Degrade   DegradeConfig
+
+	// AgeWeight enables starvation-aware aging in every scheduler's tape
+	// selection (see sched.Shared.AgeWeight). Zero disables it.
+	AgeWeight float64
 }
+
+// ConfigError is a typed validation error for the overload-robustness
+// configuration surface, retrievable with errors.As.
+type ConfigError struct {
+	Field  string // the offending Config field, e.g. "Deadlines.HotTTL"
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *ConfigError) Error() string { return fmt.Sprintf("sim: %s: %s", e.Field, e.Reason) }
+
+// DeadlineConfig assigns per-class request deadlines: a request's deadline
+// is its arrival time plus a TTL drawn from its block class's distribution.
+// A request still incomplete at its deadline is cancelled (expired) unless
+// it is already being read. The zero value disables deadlines.
+type DeadlineConfig struct {
+	// HotTTL and ColdTTL are the mean TTLs in seconds for requests on hot
+	// and cold blocks; zero disables deadlines for that class.
+	HotTTL  float64
+	ColdTTL float64
+	// Fixed uses the means as exact TTLs instead of exponential draws.
+	Fixed bool
+	// Seed for the TTL stream; zero derives Seed+4 so deadline randomness
+	// stays independent of the workload's.
+	Seed int64
+}
+
+// Enabled reports whether any class gets deadlines.
+func (d DeadlineConfig) Enabled() bool { return d.HotTTL > 0 || d.ColdTTL > 0 }
+
+// AdmitPolicy selects what a bounded admission queue does on overflow.
+type AdmitPolicy int
+
+const (
+	// AdmitNone disables admission control (unbounded queue).
+	AdmitNone AdmitPolicy = iota
+	// AdmitReject turns the newly arriving request away.
+	AdmitReject
+	// AdmitShed drops the oldest pending request to admit the newcomer.
+	AdmitShed
+)
+
+// String names the policy.
+func (p AdmitPolicy) String() string {
+	switch p {
+	case AdmitNone:
+		return "none"
+	case AdmitReject:
+		return "reject"
+	case AdmitShed:
+		return "shed-oldest"
+	}
+	return "unknown"
+}
+
+// AdmissionConfig bounds the number of outstanding requests. When the bound
+// is reached, Policy decides who is turned away. Closed-model respawns are
+// exempt (the fixed population is the bound there); external arrivals --
+// open-model and flash-crowd extras -- are subject to it.
+type AdmissionConfig struct {
+	// MaxQueue is the outstanding-request bound; required positive when a
+	// policy is set.
+	MaxQueue int
+	// Policy is the overflow behavior; AdmitNone disables admission control.
+	Policy AdmitPolicy
+}
+
+// Enabled reports whether admission control is on.
+func (a AdmissionConfig) Enabled() bool { return a.Policy != AdmitNone }
+
+// BurstConfig makes the open-model arrival process bursty (ON-OFF
+// modulation with exponential phases, plus one deterministic flash-crowd
+// window) or injects a one-shot flash crowd into the closed model. The
+// zero value keeps the stationary paper workloads.
+type BurstConfig struct {
+	// Factor multiplies the baseline arrival rate while bursting; required
+	// positive when any burst shape is configured.
+	Factor float64
+	// OnFrac in (0,1) is the fraction of an ON-OFF cycle spent bursting;
+	// Period is the mean cycle length in seconds (open model only).
+	OnFrac float64
+	Period float64
+	// FlashAt starts a flash window: for FlashLen seconds the open model
+	// arrives at Factor times the baseline rate (open model only), or
+	// FlashCount one-shot ephemeral requests arrive at once (closed model
+	// only).
+	FlashAt    float64
+	FlashLen   float64
+	FlashCount int
+	// Seed for the burst modulation stream; zero derives Seed+5.
+	Seed int64
+}
+
+// Enabled reports whether any burst shape is configured.
+func (b BurstConfig) Enabled() bool { return b.Period > 0 || b.FlashLen > 0 || b.FlashCount > 0 }
+
+// DegradeConfig enables graceful degradation under sustained overload:
+// whenever the outstanding-request count exceeds QueueThreshold, freshly
+// built sweeps are truncated to the MaxSweep most urgent requests (the
+// rest return to pending) and delta-write flushes are deferred, so drive
+// time concentrates on near-deadline reads. The zero value disables it.
+type DegradeConfig struct {
+	// QueueThreshold is the outstanding-request count above which the
+	// system counts as overloaded; zero disables degradation.
+	QueueThreshold int
+	// MaxSweep, when positive, truncates sweeps built while overloaded to
+	// the MaxSweep most urgent requests.
+	MaxSweep int
+	// DeferWrites skips piggyback and idle delta-write flushes while
+	// overloaded (the force-drain threshold still applies).
+	DeferWrites bool
+}
+
+// Enabled reports whether degradation is on.
+func (d DegradeConfig) Enabled() bool { return d.QueueThreshold > 0 }
 
 // Validate reports the first configuration error, applying no defaults.
 func (c *Config) Validate() error {
@@ -172,6 +299,74 @@ func (c *Config) Validate() error {
 	if c.Faults.Enabled() && c.WriteMeanInterarrival > 0 {
 		return errors.New("sim: the fault model does not cover the write extension")
 	}
+	return c.validateOverload()
+}
+
+// validateOverload checks the overload-robustness surface, reporting typed
+// *ConfigError values.
+func (c *Config) validateOverload() error {
+	d := c.Deadlines
+	if d.HotTTL < 0 {
+		return &ConfigError{"Deadlines.HotTTL", "TTL must be non-negative"}
+	}
+	if d.ColdTTL < 0 {
+		return &ConfigError{"Deadlines.ColdTTL", "TTL must be non-negative"}
+	}
+	a := c.Admission
+	if a.Policy < AdmitNone || a.Policy > AdmitShed {
+		return &ConfigError{"Admission.Policy", fmt.Sprintf("unknown policy %d", a.Policy)}
+	}
+	if a.MaxQueue < 0 {
+		return &ConfigError{"Admission.MaxQueue", "queue bound must be non-negative"}
+	}
+	if a.Enabled() && a.MaxQueue == 0 {
+		return &ConfigError{"Admission.MaxQueue", "bounded admission needs a positive queue bound"}
+	}
+	if !a.Enabled() && a.MaxQueue > 0 {
+		return &ConfigError{"Admission.Policy", "a queue bound needs an overflow policy"}
+	}
+	b := c.Burst
+	if b.Factor < 0 {
+		return &ConfigError{"Burst.Factor", "factor must be non-negative"}
+	}
+	if b.OnFrac < 0 || b.OnFrac >= 1 {
+		return &ConfigError{"Burst.OnFrac", "ON fraction out of [0,1)"}
+	}
+	if b.Period < 0 || b.FlashAt < 0 || b.FlashLen < 0 || b.FlashCount < 0 {
+		return &ConfigError{"Burst", "period/flash parameters must be non-negative"}
+	}
+	if b.Enabled() && b.Factor == 0 {
+		return &ConfigError{"Burst.Factor", "bursting needs a rate factor"}
+	}
+	if b.Period > 0 && b.OnFrac == 0 {
+		return &ConfigError{"Burst.OnFrac", "ON-OFF modulation needs a positive ON fraction"}
+	}
+	closed := c.QueueLength > 0
+	if closed && (b.Period > 0 || b.FlashLen > 0) {
+		return &ConfigError{"Burst", "rate modulation needs the open model (use FlashCount for closed flash crowds)"}
+	}
+	if !closed && b.FlashCount > 0 {
+		return &ConfigError{"Burst.FlashCount", "one-shot flash counts need the closed model (use FlashLen for open flashes)"}
+	}
+	g := c.Degrade
+	if g.QueueThreshold < 0 {
+		return &ConfigError{"Degrade.QueueThreshold", "threshold must be non-negative"}
+	}
+	if g.MaxSweep < 0 {
+		return &ConfigError{"Degrade.MaxSweep", "sweep bound must be non-negative"}
+	}
+	if !g.Enabled() && (g.MaxSweep > 0 || g.DeferWrites) {
+		return &ConfigError{"Degrade.QueueThreshold", "degradation actions need an overload threshold"}
+	}
+	if g.Enabled() && g.MaxSweep == 0 && !g.DeferWrites {
+		return &ConfigError{"Degrade", "an overload threshold needs a degradation action (MaxSweep or DeferWrites)"}
+	}
+	if g.DeferWrites && c.WriteMeanInterarrival <= 0 {
+		return &ConfigError{"Degrade.DeferWrites", "deferring writes needs the write extension"}
+	}
+	if c.AgeWeight < 0 {
+		return &ConfigError{"AgeWeight", "aging weight must be non-negative"}
+	}
 	return nil
 }
 
@@ -189,7 +384,9 @@ type Result struct {
 	RequestsPerMinute float64
 	MeanResponseSec   float64
 	MaxResponseSec    float64
+	P50ResponseSec    float64
 	P95ResponseSec    float64
+	P99ResponseSec    float64
 
 	TapeSwitches   int64 // post-warmup tape switches
 	LocateSeconds  float64
@@ -224,6 +421,18 @@ type Result struct {
 	Rerouted           int64   // post-warmup completions served by a surviving replica after a permanent fault
 	MeanRecoverySec    float64 // mean extra wait from first permanent fault to completion (post-warmup)
 	Availability       float64 // post-warmup completed / (completed + unserviceable)
+
+	// Overload-robustness metrics (zero when deadlines, admission control,
+	// and degradation are all disabled).
+	Expired          int64   // requests cancelled at their deadline (whole run)
+	LateCompletions  int64   // completions past their deadline (in-flight reads finish late; whole run)
+	DeadlineMisses   int64   // post-warmup expiries + late completions of deadlined requests
+	DeadlineMissRate float64 // post-warmup misses / deadlined outcomes (completions + expiries)
+	Shed             int64   // pending requests dropped by AdmitShed overflow (whole run)
+	Rejected         int64   // arrivals turned away by AdmitReject overflow (whole run)
+	MaxQueueAgeSec   float64 // oldest age a pending request reached before service, expiry, or shedding (post-warmup)
+	TruncatedSweeps  int64   // sweeps cut to the most urgent MaxSweep requests while overloaded
+	DeferredFlushes  int64   // piggyback/idle delta flushes skipped while overloaded
 }
 
 // EffectiveOfStreaming returns throughput as a fraction of the drive's

@@ -58,8 +58,9 @@ type engine struct {
 	evq   eventQueue
 	evSeq int64
 
-	writes *writeState // write-model extension, nil when disabled
-	flt    *faultState // fault-model extension, nil when disabled
+	writes *writeState    // write-model extension, nil when disabled
+	flt    *faultState    // fault-model extension, nil when disabled
+	ovl    *overloadState // overload-robustness extension, nil when disabled
 }
 
 func newEngine(cfg Config) (*engine, error) {
@@ -113,14 +114,9 @@ func newEngine(cfg Config) (*engine, error) {
 		}
 		gen = hg
 	}
-	var arr workload.Arrivals
-	if cfg.QueueLength > 0 {
-		arr = workload.ClosedArrivals{QueueLength: cfg.QueueLength}
-	} else {
-		arr, err = workload.NewPoissonArrivals(cfg.MeanInterarrival, cfg.Seed+1)
-		if err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
-		}
+	arr, err := newArrivals(&cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
 	nd := cfg.Drives
 	if nd < 1 {
@@ -165,6 +161,9 @@ func newEngine(cfg Config) (*engine, error) {
 	if err := e.initFaults(capBlocks); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	if err := e.initOverload(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	// Seed the system: closed models start with the full queue present;
 	// open models schedule their first Poisson arrival.
 	for i := 0; i < arr.InitialCount(); i++ {
@@ -179,16 +178,27 @@ func (e *engine) newRequest(at float64) *sched.Request {
 	e.nextID++
 	e.totalArr++
 	e.outstanding++
-	return &sched.Request{ID: e.nextID, Block: e.gen.Next(), Arrival: at}
+	r := &sched.Request{ID: e.nextID, Block: e.gen.Next(), Arrival: at}
+	e.assignDeadline(r)
+	return r
 }
 
-// pumpArrivals delivers every external arrival due by now: first to the
-// incremental schedulers, else to the pending list.
+// pumpArrivals delivers every external arrival due by now: first through
+// the admission controller, then to the incremental schedulers, else to the
+// pending list. External arrivals in a closed model are flash-crowd extras;
+// they never respawn.
 func (e *engine) pumpArrivals() {
 	for e.nextArr <= e.now {
-		r := e.newRequest(e.nextArr)
-		e.deliver(r)
+		at := e.nextArr
 		e.nextArr = e.arr.Next()
+		if !e.admitArrival() {
+			continue
+		}
+		r := e.newRequest(at)
+		if e.arr.Closed() {
+			r.Ephemeral = true
+		}
+		e.deliver(r)
 	}
 	e.pumpWrites()
 }
@@ -235,9 +245,23 @@ func (e *engine) complete(r *sched.Request) {
 			e.flt.recovery.Add(e.now - r.FaultedAt)
 		}
 	}
+	if o := e.ovl; o != nil {
+		r.Done = true
+		if r.Deadline > 0 {
+			if e.now > r.Deadline {
+				o.late++
+				if e.now > e.warmupEnd {
+					o.missPost++
+				}
+			}
+			if e.now > e.warmupEnd {
+				o.deadlinedPost++
+			}
+		}
+	}
 	e.push(Event{Kind: EventComplete, Time: e.now, Tape: r.Target.Tape,
 		Pos: r.Target.Pos, Request: r.ID})
-	if e.arr.Closed() {
+	if e.arr.Closed() && !r.Ephemeral {
 		e.deliver(e.newRequest(e.now))
 	}
 }
@@ -261,7 +285,9 @@ func (e *engine) result() *Result {
 		TotalCompleted:  e.totalDone,
 		MeanResponseSec: e.resp.Mean(),
 		MaxResponseSec:  e.resp.Max(),
+		P50ResponseSec:  e.respSample.Percentile(0.50),
 		P95ResponseSec:  e.respSample.Percentile(0.95),
+		P99ResponseSec:  e.respSample.Percentile(0.99),
 		ReadsPerTape:    append([]int64(nil), e.readsPerTape...),
 	}
 	if measured > 0 {
@@ -278,5 +304,6 @@ func (e *engine) result() *Result {
 		res.MaxBufferedWrites = w.maxBuffer
 	}
 	e.faultResult(res)
+	e.overloadResult(res)
 	return res
 }

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"sort"
-
 	"tapejuke/internal/faults"
 	"tapejuke/internal/layout"
 	"tapejuke/internal/sched"
@@ -74,6 +72,7 @@ func (e *engine) initFaults(capBlocks int) error {
 // unserviceable abandons a request whose every copy is lost: it leaves the
 // system uncompleted.
 func (e *engine) unserviceable(r *sched.Request) {
+	r.Done = true
 	e.outstanding--
 	e.flt.unserv++
 	if e.now > e.warmupEnd {
@@ -127,18 +126,16 @@ func (e *engine) markTapeDown(tape int) {
 // arrival-ordered list. If every copy is gone, the next dropUnserviceable
 // scan abandons the request; it is never retried forever.
 func (e *engine) requeueFaulted(r *sched.Request) {
+	if r.Expired {
+		// The request expired while its fault was in limbo between issue and
+		// settle; it was counted and removed at expiry time.
+		return
+	}
 	if r.FaultedAt == 0 {
 		r.FaultedAt = e.now
 	}
 	r.Target = layout.Replica{}
-	p := e.sh.Pending
-	i := sort.Search(len(p), func(i int) bool {
-		return p[i].Arrival > r.Arrival || (p[i].Arrival == r.Arrival && p[i].ID > r.ID)
-	})
-	p = append(p, nil)
-	copy(p[i+1:], p[i:])
-	p[i] = r
-	e.sh.Pending = p
+	e.insertPending(r)
 }
 
 // abortSweep moves drive d's remaining sweep (and the failing request r,

@@ -57,6 +57,7 @@ func (e *engine) run() (*Result, error) {
 			}
 		}
 		if e.now < e.cfg.Horizon {
+			e.expireDue()
 			e.pumpArrivals()
 			if e.cfg.MaxCompletions > 0 && e.completed >= e.cfg.MaxCompletions {
 				e.flushEvents()
@@ -86,6 +87,11 @@ func (e *engine) run() (*Result, error) {
 			if e.writes != nil && e.writes.next < wake {
 				wake = e.writes.next
 			}
+			if e.ovl != nil {
+				if te := e.ovl.nextDeadline(); te < wake {
+					wake = te
+				}
+			}
 			if math.IsInf(wake, 1) {
 				break // closed model with nothing left to do
 			}
@@ -105,6 +111,17 @@ func (e *engine) run() (*Result, error) {
 			continue
 		}
 
+		if e.ovl != nil && e.now < e.cfg.Horizon {
+			// Deadline expiry is a wake source: when a deadline falls before
+			// the earliest completion, advance only to the deadline so the
+			// expiry (and any closed-model respawn it triggers) is processed
+			// at its own time, keeping the event stream in global order.
+			if te := e.ovl.nextDeadline(); te <= e.drives[d].freeAt && te < e.cfg.Horizon {
+				e.advanceClock(te)
+				e.flushEvents()
+				continue
+			}
+		}
 		e.advanceClock(e.drives[d].freeAt)
 		e.flushEvents()
 		pumpAfter := e.settle(d)
@@ -130,6 +147,7 @@ func (e *engine) advanceClock(target float64) {
 	}
 	e.queueAreaSec += float64(e.outstanding) * (target - e.now)
 	e.now = target
+	e.sh.Now = target
 }
 
 // nextSettle returns the busy drive with the earliest completion (lowest
@@ -233,6 +251,9 @@ func (e *engine) issue(d int) error {
 		return nil
 	}
 	tape, sweep, ok := dr.schd.Reschedule(st)
+	if ok && e.ovl != nil && e.ovl.degrade.MaxSweep > 0 && e.overloaded() {
+		sweep = e.truncateSweep(st, tape, sweep)
+	}
 	if !ok {
 		// Every candidate tape is claimed by another drive (or FIFO's oldest
 		// request is pinned to one); retry at the next wake. The one-drive
@@ -277,6 +298,9 @@ func (e *engine) startRead(d int) {
 	dr := &e.drives[d]
 	st := dr.st
 	r := st.Active.Pop()
+	if e.ovl != nil && e.now > e.warmupEnd {
+		e.noteQueueAge(e.now - r.Arrival)
+	}
 	if e.flt != nil {
 		e.resolveFaultyRead(d, r)
 		return
@@ -344,7 +368,7 @@ func (q eventQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(queuedEvent)) }
 func (q *eventQueue) Pop() interface{} {
 	old := *q

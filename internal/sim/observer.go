@@ -28,6 +28,15 @@ const (
 	// EventUnserviceable: a request was abandoned because every copy of its
 	// block is lost.
 	EventUnserviceable
+	// EventExpire: a request was cancelled at its deadline before its read
+	// started (the overload extension).
+	EventExpire
+	// EventShed: a pending request was dropped by the shed-oldest admission
+	// policy to make room for a newcomer.
+	EventShed
+	// EventReject: an arriving request was turned away by the reject
+	// admission policy (it never entered the system's queue).
+	EventReject
 )
 
 // String names the event kind.
@@ -51,6 +60,12 @@ func (k EventKind) String() string {
 		return "drive-repair"
 	case EventUnserviceable:
 		return "unserviceable"
+	case EventExpire:
+		return "expire"
+	case EventShed:
+		return "shed"
+	case EventReject:
+		return "reject"
 	}
 	return "unknown"
 }

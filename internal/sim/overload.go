@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"tapejuke/internal/layout"
+	"tapejuke/internal/sched"
+	"tapejuke/internal/workload"
+)
+
+// overloadState is the engine-side bookkeeping of the overload-robustness
+// extensions: the deadline calendar, the admission controller, and the
+// degradation counters. nil when deadlines, admission control, and
+// degradation are all disabled, which keeps the overload-free hot path to a
+// handful of nil checks (the same pattern as faultState).
+type overloadState struct {
+	ttl     *workload.TTLSampler // deadline assignment, nil when deadlines off
+	dl      deadlineHeap         // outstanding deadlined requests, lazily pruned
+	admit   AdmissionConfig
+	degrade DegradeConfig
+
+	expired       int64 // requests cancelled at their deadline (whole run)
+	late          int64 // completions past their deadline (whole run)
+	missPost      int64 // post-warmup expiries + late completions
+	deadlinedPost int64 // post-warmup deadlined outcomes (completions + expiries)
+	shed          int64
+	rejected      int64
+	maxQueueAge   float64
+	truncated     int64
+	deferred      int64
+}
+
+// deadlineHeap is a min-heap of deadlined requests on (Deadline, ID).
+// Requests that leave the system another way (completion, shedding,
+// unserviceable) stay in the heap with Done set and are skipped lazily.
+type deadlineHeap []*sched.Request
+
+func (h deadlineHeap) Len() int { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool {
+	if h[i].Deadline != h[j].Deadline {
+		return h[i].Deadline < h[j].Deadline
+	}
+	return h[i].ID < h[j].ID
+}
+func (h deadlineHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x interface{}) { *h = append(*h, x.(*sched.Request)) }
+func (h *deadlineHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return r
+}
+
+// evictor is implemented by schedulers that want to hear about requests the
+// engine cancels out of their in-flight sweep (deadline expiry), e.g. the
+// envelope scheduler tightening its envelope without a rebuild.
+type evictor interface {
+	OnEvict(st *sched.State, r *sched.Request)
+}
+
+// initOverload wires the overload extensions into the engine. It must run
+// before the initial request seeding so seeded requests draw deadlines.
+func (e *engine) initOverload() error {
+	cfg := e.cfg
+	e.sh.AgeWeight = cfg.AgeWeight
+	if !cfg.Deadlines.Enabled() && !cfg.Admission.Enabled() && !cfg.Degrade.Enabled() {
+		return nil
+	}
+	o := &overloadState{admit: cfg.Admission, degrade: cfg.Degrade}
+	if d := cfg.Deadlines; d.Enabled() {
+		seed := d.Seed
+		if seed == 0 {
+			seed = cfg.Seed + 4
+		}
+		ttl, err := workload.NewTTLSampler(e.sh.Layout, d.HotTTL, d.ColdTTL, d.Fixed, seed)
+		if err != nil {
+			return err
+		}
+		o.ttl = ttl
+	}
+	e.ovl = o
+	return nil
+}
+
+// newArrivals builds the arrival process, bursty when configured.
+func newArrivals(cfg *Config) (workload.Arrivals, error) {
+	b := cfg.Burst
+	if cfg.QueueLength > 0 {
+		if b.FlashCount > 0 {
+			return &workload.FlashClosedArrivals{
+				QueueLength: cfg.QueueLength,
+				FlashAt:     b.FlashAt,
+				FlashCount:  b.FlashCount,
+			}, nil
+		}
+		return workload.ClosedArrivals{QueueLength: cfg.QueueLength}, nil
+	}
+	if b.Enabled() {
+		seed := b.Seed
+		if seed == 0 {
+			seed = cfg.Seed + 5
+		}
+		return workload.NewBurstArrivals(cfg.MeanInterarrival, b.Factor, b.OnFrac,
+			b.Period, b.FlashAt, b.FlashLen, seed)
+	}
+	return workload.NewPoissonArrivals(cfg.MeanInterarrival, cfg.Seed+1)
+}
+
+// assignDeadline draws a TTL for a freshly minted request and places it on
+// the deadline calendar.
+func (e *engine) assignDeadline(r *sched.Request) {
+	o := e.ovl
+	if o == nil || o.ttl == nil {
+		return
+	}
+	if ttl := o.ttl.TTL(r.Block); ttl > 0 {
+		r.Deadline = r.Arrival + ttl
+		heap.Push(&o.dl, r)
+	}
+}
+
+// nextDeadline returns the earliest live deadline on the calendar, pruning
+// requests that already left the system, or +Inf when none remain.
+func (o *overloadState) nextDeadline() float64 {
+	for o.dl.Len() > 0 && o.dl[0].Done {
+		heap.Pop(&o.dl)
+	}
+	if o.dl.Len() == 0 {
+		return math.Inf(1)
+	}
+	return o.dl[0].Deadline
+}
+
+// expireDue cancels every deadlined request whose deadline has passed.
+// Requests whose read is already in flight are left to complete late (the
+// media transfer is not abandoned mid-read); everything else is removed from
+// wherever it queues -- the pending list, an in-flight sweep, or a fault
+// requeue in limbo -- and counted.
+func (e *engine) expireDue() {
+	o := e.ovl
+	if o == nil {
+		return
+	}
+	for o.dl.Len() > 0 {
+		r := o.dl[0]
+		if r.Done {
+			heap.Pop(&o.dl)
+			continue
+		}
+		if r.Deadline > e.now {
+			return
+		}
+		heap.Pop(&o.dl)
+		if e.inFlightReq(r) {
+			continue // completes late; counted at completion
+		}
+		e.expireOne(r)
+	}
+}
+
+// inFlightReq reports whether some drive is currently reading r.
+func (e *engine) inFlightReq(r *sched.Request) bool {
+	for i := range e.drives {
+		if e.drives[i].inFlight == r {
+			return true
+		}
+	}
+	return false
+}
+
+// expireOne cancels one request at its deadline: removes it from the
+// pending list or its sweep (telling an evictor scheduler), counts the
+// expiry, and -- in the closed model -- respawns the process's next request
+// so the population stays constant (flash extras are ephemeral and do not
+// respawn).
+func (e *engine) expireOne(r *sched.Request) {
+	if !e.removePendingOne(r) {
+		for i := range e.drives {
+			dr := &e.drives[i]
+			if dr.st.Active != nil && dr.st.Active.Remove(r) {
+				if ev, ok := dr.schd.(evictor); ok {
+					ev.OnEvict(dr.st, r)
+				}
+				break
+			}
+		}
+	}
+	r.Expired, r.Done = true, true
+	e.outstanding--
+	o := e.ovl
+	o.expired++
+	if e.now > e.warmupEnd {
+		o.missPost++
+		o.deadlinedPost++
+		e.noteQueueAge(e.now - r.Arrival)
+	}
+	e.push(Event{Kind: EventExpire, Time: e.now, Tape: -1, Pos: -1, Request: r.ID})
+	if e.arr.Closed() && !r.Ephemeral {
+		e.deliver(e.newRequest(e.now))
+	}
+}
+
+// removePendingOne deletes r from the pending list by identity, preserving
+// order; reports whether it was there.
+func (e *engine) removePendingOne(r *sched.Request) bool {
+	for i, q := range e.sh.Pending {
+		if q == r {
+			e.sh.Pending = append(e.sh.Pending[:i], e.sh.Pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// admitArrival enforces the admission bound for one external arrival at
+// e.now. It reports whether the arrival may enter; under AdmitShed it makes
+// room by dropping the oldest pending request first. Arrivals rejected with
+// no pending victim to shed are counted as rejected under either policy.
+func (e *engine) admitArrival() bool {
+	o := e.ovl
+	if o == nil || !o.admit.Enabled() || e.outstanding < int64(o.admit.MaxQueue) {
+		return true
+	}
+	if o.admit.Policy == AdmitShed && len(e.sh.Pending) > 0 {
+		victim := e.sh.Pending[0]
+		e.sh.Pending = e.sh.Pending[1:]
+		victim.Done = true
+		e.outstanding--
+		o.shed++
+		if e.now > e.warmupEnd {
+			e.noteQueueAge(e.now - victim.Arrival)
+		}
+		e.push(Event{Kind: EventShed, Time: e.now, Tape: -1, Pos: -1, Request: victim.ID})
+		return true
+	}
+	o.rejected++
+	e.push(Event{Kind: EventReject, Time: e.now, Tape: -1, Pos: -1})
+	return false
+}
+
+// noteQueueAge tracks the oldest age any request reached before service,
+// expiry, or shedding (post-warmup; callers gate on warm-up).
+func (e *engine) noteQueueAge(age float64) {
+	if e.ovl != nil && age > e.ovl.maxQueueAge {
+		e.ovl.maxQueueAge = age
+	}
+}
+
+// overloaded reports whether the outstanding-request count exceeds the
+// degradation threshold.
+func (e *engine) overloaded() bool {
+	o := e.ovl
+	return o != nil && o.degrade.Enabled() && e.outstanding > int64(o.degrade.QueueThreshold)
+}
+
+// deferWrites reports whether policy-driven delta flushes are suspended
+// (graceful degradation; the force-drain threshold still applies).
+func (e *engine) deferWrites() bool {
+	return e.ovl != nil && e.ovl.degrade.DeferWrites && e.overloaded()
+}
+
+// truncateSweep cuts a freshly built sweep down to the MaxSweep most urgent
+// requests while the system is overloaded, returning the rest to the
+// pending list in (Arrival, ID) order. Urgency here is deadline order --
+// earliest deadline first, deadline-free requests last, ties by arrival --
+// so drive time concentrates on the requests that can still make it.
+func (e *engine) truncateSweep(st *sched.State, tape int, sweep *sched.Sweep) *sched.Sweep {
+	max := e.ovl.degrade.MaxSweep
+	if sweep.Len() <= max {
+		return sweep
+	}
+	reqs := sweep.Requests()
+	sort.SliceStable(reqs, func(i, j int) bool {
+		di, dj := reqs[i].Deadline, reqs[j].Deadline
+		if di <= 0 {
+			di = math.Inf(1)
+		}
+		if dj <= 0 {
+			dj = math.Inf(1)
+		}
+		if di != dj {
+			return di < dj
+		}
+		if reqs[i].Arrival != reqs[j].Arrival {
+			return reqs[i].Arrival < reqs[j].Arrival
+		}
+		return reqs[i].ID < reqs[j].ID
+	})
+	for _, r := range reqs[max:] {
+		r.Target = layout.Replica{}
+		e.insertPending(r)
+	}
+	e.ovl.truncated++
+	return sched.NewSweep(reqs[:max], st.StartHead(tape))
+}
+
+// insertPending returns a request to the pending list preserving
+// (Arrival, ID) order, so schedulers keep seeing an arrival-ordered list.
+func (e *engine) insertPending(r *sched.Request) {
+	p := e.sh.Pending
+	i := sort.Search(len(p), func(i int) bool {
+		return p[i].Arrival > r.Arrival || (p[i].Arrival == r.Arrival && p[i].ID > r.ID)
+	})
+	p = append(p, nil)
+	copy(p[i+1:], p[i:])
+	p[i] = r
+	e.sh.Pending = p
+}
+
+// overloadResult folds the overload metrics into the result.
+func (e *engine) overloadResult(res *Result) {
+	o := e.ovl
+	if o == nil {
+		return
+	}
+	res.Expired = o.expired
+	res.LateCompletions = o.late
+	res.DeadlineMisses = o.missPost
+	if o.deadlinedPost > 0 {
+		res.DeadlineMissRate = float64(o.missPost) / float64(o.deadlinedPost)
+	}
+	res.Shed = o.shed
+	res.Rejected = o.rejected
+	res.MaxQueueAgeSec = o.maxQueueAge
+	res.TruncatedSweeps = o.truncated
+	res.DeferredFlushes = o.deferred
+}

@@ -188,8 +188,14 @@ func (e *engine) piggybackOp(d int) bool {
 	did := false
 	if e.cfg.WritePolicy == WritePiggyback || e.cfg.WritePolicy == WritePiggybackAndIdle {
 		if st.Mounted >= 0 && len(w.buffer[st.Mounted]) > 0 {
-			vt = e.resolveFlush(st, vt)
-			did = true
+			if e.deferWrites() {
+				// Graceful degradation: keep the drive on read work while
+				// overloaded; the force-drain threshold below still applies.
+				e.ovl.deferred++
+			} else {
+				vt = e.resolveFlush(st, vt)
+				did = true
+			}
 		}
 	}
 	if e.cfg.WriteFlushThreshold > 0 && w.buffered >= e.cfg.WriteFlushThreshold {
@@ -217,6 +223,10 @@ func (e *engine) idleFlushOp(d int) bool {
 		return false
 	}
 	if e.cfg.WritePolicy != WriteIdleOnly && e.cfg.WritePolicy != WritePiggybackAndIdle {
+		return false
+	}
+	if e.deferWrites() {
+		e.ovl.deferred++
 		return false
 	}
 	st := e.drives[d].st

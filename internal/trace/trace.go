@@ -96,6 +96,9 @@ type Summary struct {
 	Completes  int64
 	Flushes    int64
 	IdleSpells int64
+	Expires    int64 // deadline expiries (overload extension)
+	Sheds      int64 // requests shed by admission overflow
+	Rejects    int64 // arrivals rejected by admission overflow
 
 	Span            float64 // last event time
 	ReadSeconds     float64 // total time inside read operations (locate+transfer)
@@ -146,6 +149,12 @@ func Summarize(recs []Record) *Summary {
 		case "idle":
 			s.IdleSpells++
 			s.IdleSeconds += r.Seconds
+		case "expire":
+			s.Expires++
+		case "shed":
+			s.Sheds++
+		case "reject":
+			s.Rejects++
 		}
 	}
 	if readsSinceSwitch > 0 {
@@ -184,6 +193,9 @@ func (s *Summary) Format(w io.Writer) {
 	}
 	if s.IdleSpells > 0 {
 		fmt.Fprintf(w, "idle              %d spells, %.0f s\n", s.IdleSpells, s.IdleSeconds)
+	}
+	if s.Expires+s.Sheds+s.Rejects > 0 {
+		fmt.Fprintf(w, "overload          %d expired, %d shed, %d rejected\n", s.Expires, s.Sheds, s.Rejects)
 	}
 	if s.BusiestTape >= 0 {
 		fmt.Fprintf(w, "busiest tape      %d (%.0f%% of reads)\n", s.BusiestTape, 100*s.BusiestTapeFrac)

@@ -36,6 +36,12 @@ func (r *VerifyReport) OK() bool { return r.Mismatches == 0 }
 // the drive. Repair, idle, completion, and unserviceable records carry no
 // drive geometry and are skipped.
 //
+// Overload-extension records replay consistently too: "expire" and "shed"
+// records cancel their request, and a later read, fault, or completion
+// referencing a cancelled request fails verification (an altered trace
+// cannot resurrect a request it already cancelled); "reject" records carry
+// no request and are skipped.
+//
 // Traces containing write-flush events are rejected (the flush path moves
 // the head through delta-log positions outside the replayed geometry), as
 // are multi-drive traces (interleaved head positions are not replayable on
@@ -64,7 +70,25 @@ func Verify(recs []Record, prof tapemodel.Positioner, blockMB float64, tapes, ca
 			rep.First = fmt.Sprintf("record %d (%s): recorded %.6f s, recomputed %.6f s", i, kind, want, got)
 		}
 	}
+	cancelled := make(map[int64]string) // request ID -> how it left the system
 	for i, r := range recs {
+		if r.Request != 0 {
+			switch r.Kind {
+			case "expire", "shed":
+				if why, gone := cancelled[r.Request]; gone {
+					return nil, fmt.Errorf("trace: record %d cancels request %d already %s", i, r.Request, why)
+				}
+				cancelled[r.Request] = r.Kind
+			case "read", "fault", "complete":
+				if why, gone := cancelled[r.Request]; gone {
+					return nil, fmt.Errorf("trace: record %d (%s) references request %d already %s",
+						i, r.Kind, r.Request, why)
+				}
+				if r.Kind == "complete" {
+					cancelled[r.Request] = "complete"
+				}
+			}
+		}
 		switch r.Kind {
 		case "switch":
 			got, err := deck.Mount(r.Tape)

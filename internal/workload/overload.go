@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tapejuke/internal/layout"
+)
+
+// This file holds the overload-robustness workload extensions: per-class
+// deadline (TTL) assignment and bursty arrival processes (ON-OFF modulated
+// Poisson and flash crowds). The paper's workload is infinitely patient and
+// stationary; these extensions let the simulator exercise admission control,
+// deadline expiry, and graceful degradation.
+
+// TTLSampler assigns a time-to-live to each request by the hot/cold class
+// of its block: hot and cold requests draw from separate distributions
+// (exponential by default, or fixed), modelling interactive recalls with
+// tight patience against batch reads with loose ones. A class with a zero
+// mean issues no deadlines. Deterministic for a given seed, on a stream
+// independent of the block generator's.
+type TTLSampler struct {
+	lay      *layout.Layout
+	hotMean  float64
+	coldMean float64
+	fixed    bool
+	rng      *rand.Rand
+}
+
+// NewTTLSampler builds a sampler over the blocks of l with the given mean
+// TTLs in seconds (zero disables deadlines for that class).
+func NewTTLSampler(l *layout.Layout, hotMeanSec, coldMeanSec float64, fixed bool, seed int64) (*TTLSampler, error) {
+	if hotMeanSec < 0 || coldMeanSec < 0 {
+		return nil, fmt.Errorf("workload: TTL means (%v, %v) must be non-negative", hotMeanSec, coldMeanSec)
+	}
+	return &TTLSampler{
+		lay:      l,
+		hotMean:  hotMeanSec,
+		coldMean: coldMeanSec,
+		fixed:    fixed,
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// TTL draws the time-to-live for a request on block b, or 0 when b's class
+// has no deadline.
+func (s *TTLSampler) TTL(b layout.BlockID) float64 {
+	mean := s.coldMean
+	if s.lay.IsHot(b) {
+		mean = s.hotMean
+	}
+	if mean <= 0 {
+		return 0
+	}
+	if s.fixed {
+		return mean
+	}
+	return s.rng.ExpFloat64() * mean
+}
+
+// BurstArrivals is a non-homogeneous Poisson arrival process with a
+// piecewise-constant rate: the baseline rate 1/MeanInterarrival multiplied
+// by Factor during ON phases of an ON-OFF modulation (exponentially
+// distributed phase durations) and during one deterministic flash-crowd
+// window. Arrival times come from integrating a unit-rate exponential
+// across the rate segments, so the process is exact, deterministic for a
+// given seed, and degenerates to PoissonArrivals draw-for-draw when no
+// modulation is configured.
+type BurstArrivals struct {
+	mean     float64 // baseline mean interarrival (seconds)
+	factor   float64 // rate multiplier while bursting
+	onFrac   float64 // fraction of an ON-OFF cycle spent ON
+	period   float64 // mean ON-OFF cycle length (0 = no modulation)
+	flashAt  float64 // flash window start
+	flashLen float64 // flash window length (0 = no flash)
+
+	rng      *rand.Rand
+	clock    float64
+	on       bool
+	phaseEnd float64
+}
+
+// NewBurstArrivals creates the bursty open-model arrival process. period
+// and onFrac configure ON-OFF modulation (both zero disables it); flashAt
+// and flashLen configure the flash window (flashLen zero disables it).
+func NewBurstArrivals(meanInterarrival, factor, onFrac, period, flashAt, flashLen float64, seed int64) (*BurstArrivals, error) {
+	if meanInterarrival <= 0 {
+		return nil, fmt.Errorf("workload: mean interarrival %v must be positive", meanInterarrival)
+	}
+	if factor <= 0 {
+		return nil, fmt.Errorf("workload: burst factor %v must be positive", factor)
+	}
+	if onFrac < 0 || onFrac >= 1 {
+		return nil, fmt.Errorf("workload: burst ON fraction %v out of [0,1)", onFrac)
+	}
+	if period > 0 && onFrac == 0 {
+		return nil, fmt.Errorf("workload: ON-OFF modulation needs a positive ON fraction")
+	}
+	if period < 0 || flashAt < 0 || flashLen < 0 {
+		return nil, fmt.Errorf("workload: burst period/flash parameters must be non-negative")
+	}
+	b := &BurstArrivals{
+		mean:     meanInterarrival,
+		factor:   factor,
+		onFrac:   onFrac,
+		period:   period,
+		flashAt:  flashAt,
+		flashLen: flashLen,
+		rng:      rand.New(rand.NewSource(seed)),
+		phaseEnd: math.Inf(1),
+	}
+	if period > 0 {
+		// Cycles start OFF; the first ON phase arrives after one OFF draw.
+		b.phaseEnd = b.rng.ExpFloat64() * period * (1 - onFrac)
+	}
+	return b, nil
+}
+
+// Closed reports false.
+func (b *BurstArrivals) Closed() bool { return false }
+
+// InitialCount returns 0: the open system starts empty.
+func (b *BurstArrivals) InitialCount() int { return 0 }
+
+// Next returns the next arrival time by spending a unit-rate exponential
+// across the piecewise-constant rate profile from the previous arrival.
+func (b *BurstArrivals) Next() float64 {
+	need := b.rng.ExpFloat64()
+	t := b.clock
+	for {
+		rate, segEnd := b.rateAt(t)
+		if dt := need / rate; math.IsInf(segEnd, 1) || t+dt <= segEnd {
+			b.clock = t + dt
+			return b.clock
+		}
+		need -= (segEnd - t) * rate
+		t = segEnd
+		if b.period > 0 && t >= b.phaseEnd {
+			b.on = !b.on
+			mean := b.period * b.onFrac
+			if !b.on {
+				mean = b.period * (1 - b.onFrac)
+			}
+			b.phaseEnd = t + b.rng.ExpFloat64()*mean
+		}
+	}
+}
+
+// rateAt returns the arrival rate in force at time t and the end of the
+// constant-rate segment containing t.
+func (b *BurstArrivals) rateAt(t float64) (rate, segEnd float64) {
+	rate = 1 / b.mean
+	segEnd = math.Inf(1)
+	burst := false
+	if b.period > 0 {
+		burst = b.on
+		segEnd = b.phaseEnd
+	}
+	if b.flashLen > 0 {
+		switch end := b.flashAt + b.flashLen; {
+		case t < b.flashAt:
+			if b.flashAt < segEnd {
+				segEnd = b.flashAt
+			}
+		case t < end:
+			burst = true
+			if end < segEnd {
+				segEnd = end
+			}
+		}
+	}
+	if burst {
+		rate *= b.factor
+	}
+	return rate, segEnd
+}
+
+// FlashClosedArrivals is the closed-model flash crowd: the fixed process
+// population of ClosedArrivals plus FlashCount one-shot external requests
+// all arriving at FlashAt. The extras are ephemeral -- the engine does not
+// respawn them on completion -- so the population returns to QueueLength
+// once the crowd drains.
+type FlashClosedArrivals struct {
+	QueueLength int
+	FlashAt     float64
+	FlashCount  int
+	issued      int
+}
+
+// Closed reports true: completions of the base population still respawn.
+func (f *FlashClosedArrivals) Closed() bool { return true }
+
+// InitialCount returns the base population size.
+func (f *FlashClosedArrivals) InitialCount() int { return f.QueueLength }
+
+// Next returns FlashAt for each of the FlashCount extras, then +Inf.
+func (f *FlashClosedArrivals) Next() float64 {
+	if f.issued < f.FlashCount {
+		f.issued++
+		return f.FlashAt
+	}
+	return math.Inf(1)
+}

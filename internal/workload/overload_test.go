@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"tapejuke/internal/layout"
+)
+
+func TestTTLSamplerClassSplit(t *testing.T) {
+	l := testLayout(t, 10)
+	s, err := NewTTLSampler(l, 100, 10_000, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hotSum, coldSum float64
+	var hotN, coldN int
+	for b := 0; b < l.NumBlocks(); b++ {
+		id := layout.BlockID(b)
+		for i := 0; i < 20; i++ {
+			ttl := s.TTL(id)
+			if ttl <= 0 {
+				t.Fatalf("block %d: TTL %v not positive", b, ttl)
+			}
+			if l.IsHot(id) {
+				hotSum += ttl
+				hotN++
+			} else {
+				coldSum += ttl
+				coldN++
+			}
+		}
+	}
+	hotMean, coldMean := hotSum/float64(hotN), coldSum/float64(coldN)
+	if hotMean < 50 || hotMean > 200 {
+		t.Errorf("hot TTL mean %.1f far from configured 100", hotMean)
+	}
+	if coldMean < 5_000 || coldMean > 20_000 {
+		t.Errorf("cold TTL mean %.1f far from configured 10000", coldMean)
+	}
+}
+
+func TestTTLSamplerDisabledClassAndFixed(t *testing.T) {
+	l := testLayout(t, 10)
+	s, err := NewTTLSampler(l, 0, 500, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, cold := false, false
+	for b := 0; b < l.NumBlocks(); b++ {
+		id := layout.BlockID(b)
+		ttl := s.TTL(id)
+		if l.IsHot(id) {
+			hot = true
+			if ttl != 0 {
+				t.Fatalf("hot block %d: zero-mean class drew TTL %v", b, ttl)
+			}
+		} else {
+			cold = true
+			if ttl != 500 {
+				t.Fatalf("cold block %d: fixed TTL = %v, want 500", b, ttl)
+			}
+		}
+	}
+	if !hot || !cold {
+		t.Fatal("layout missing a class; the test is vacuous")
+	}
+}
+
+func TestTTLSamplerDeterminism(t *testing.T) {
+	l := testLayout(t, 10)
+	s1, _ := NewTTLSampler(l, 100, 1000, false, 42)
+	s2, _ := NewTTLSampler(l, 100, 1000, false, 42)
+	for i := 0; i < 1000; i++ {
+		b := layout.BlockID(i % l.NumBlocks())
+		if s1.TTL(b) != s2.TTL(b) {
+			t.Fatal("same seed produced different TTL streams")
+		}
+	}
+	if _, err := NewTTLSampler(l, -1, 0, false, 1); err == nil {
+		t.Error("negative TTL mean accepted")
+	}
+}
+
+// TestBurstEqualsPoissonUnmodulated pins the degenerate case: with no
+// ON-OFF modulation and no flash window, BurstArrivals must reproduce
+// PoissonArrivals draw for draw.
+func TestBurstEqualsPoissonUnmodulated(t *testing.T) {
+	b, err := NewBurstArrivals(120, 10, 0, 0, 0, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPoissonArrivals(120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if got, want := b.Next(), p.Next(); got != want {
+			t.Fatalf("draw %d: burst %v != poisson %v", i, got, want)
+		}
+	}
+}
+
+// TestBurstOnOffRate: ON-OFF modulation raises the long-run rate to the
+// time-weighted mixture of the baseline and burst rates.
+func TestBurstOnOffRate(t *testing.T) {
+	const (
+		mean    = 100.0
+		factor  = 10.0
+		onFrac  = 0.5
+		horizon = 4_000_000.0
+	)
+	b, err := NewBurstArrivals(mean, factor, onFrac, 10_000, 0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for b.Next() < horizon {
+		n++
+	}
+	want := horizon / mean * (onFrac*factor + (1 - onFrac)) // mixture rate
+	if ratio := float64(n) / want; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("ON-OFF arrivals %d, want about %.0f (ratio %.2f)", n, want, ratio)
+	}
+	base := horizon / mean
+	if float64(n) < 2*base {
+		t.Errorf("modulated process (%d arrivals) not clearly above baseline %.0f", n, base)
+	}
+}
+
+// TestBurstFlashDensity: the flash window multiplies the local rate.
+func TestBurstFlashDensity(t *testing.T) {
+	const (
+		mean     = 100.0
+		factor   = 10.0
+		flashAt  = 200_000.0
+		flashLen = 100_000.0
+	)
+	b, err := NewBurstArrivals(mean, factor, 0, 0, flashAt, flashLen, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, during := 0, 0
+	for {
+		at := b.Next()
+		if at >= flashAt+flashLen {
+			break
+		}
+		if at < flashAt {
+			if at >= flashAt-flashLen {
+				before++
+			}
+		} else {
+			during++
+		}
+	}
+	if before == 0 || during == 0 {
+		t.Fatalf("degenerate windows: %d before, %d during", before, during)
+	}
+	if ratio := float64(during) / float64(before); ratio < factor/2 || ratio > factor*2 {
+		t.Errorf("flash density ratio %.1f, want about %.0f", ratio, factor)
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	cases := []struct {
+		name                                            string
+		mean, factor, onFrac, period, flashAt, flashLen float64
+	}{
+		{"zero mean", 0, 2, 0, 0, 0, 0},
+		{"zero factor", 100, 0, 0, 0, 0, 0},
+		{"onFrac at 1", 100, 2, 1, 1000, 0, 0},
+		{"period without onFrac", 100, 2, 0, 1000, 0, 0},
+		{"negative flash", 100, 2, 0, 0, -1, 10},
+	}
+	for _, c := range cases {
+		if _, err := NewBurstArrivals(c.mean, c.factor, c.onFrac, c.period, c.flashAt, c.flashLen, 1); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestFlashClosedArrivals(t *testing.T) {
+	f := &FlashClosedArrivals{QueueLength: 30, FlashAt: 5_000, FlashCount: 3}
+	if !f.Closed() {
+		t.Error("flash closed model reports open")
+	}
+	if f.InitialCount() != 30 {
+		t.Errorf("InitialCount = %d, want 30", f.InitialCount())
+	}
+	for i := 0; i < 3; i++ {
+		if at := f.Next(); at != 5_000 {
+			t.Fatalf("extra %d arrives at %v, want 5000", i, at)
+		}
+	}
+	if at := f.Next(); !math.IsInf(at, 1) {
+		t.Fatalf("after the crowd, Next = %v, want +Inf", at)
+	}
+}

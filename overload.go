@@ -1,0 +1,49 @@
+package tapejuke
+
+import (
+	"tapejuke/internal/sim"
+)
+
+// Overload-extension event kinds.
+const (
+	// EventExpire reports a request cancelled at its deadline.
+	EventExpire = sim.EventExpire
+	// EventShed reports a pending request dropped by AdmitShed overflow.
+	EventShed = sim.EventShed
+	// EventReject reports an arrival turned away by AdmitReject overflow.
+	EventReject = sim.EventReject
+)
+
+// DeadlineConfig assigns per-class request deadlines (TTLs); see the
+// internal sim package mirror of this type for field documentation.
+type DeadlineConfig = sim.DeadlineConfig
+
+// AdmissionConfig bounds the number of outstanding requests, turning the
+// overflow away by policy.
+type AdmissionConfig = sim.AdmissionConfig
+
+// AdmitPolicy selects what a bounded admission queue does on overflow.
+type AdmitPolicy = sim.AdmitPolicy
+
+// Admission overflow policies.
+const (
+	// AdmitNone disables admission control (unbounded queue).
+	AdmitNone = sim.AdmitNone
+	// AdmitReject turns the newly arriving request away.
+	AdmitReject = sim.AdmitReject
+	// AdmitShed drops the oldest pending request to admit the newcomer.
+	AdmitShed = sim.AdmitShed
+)
+
+// BurstConfig makes the arrival process bursty: ON-OFF rate modulation and
+// flash-crowd windows for the open model, one-shot flash crowds for the
+// closed model.
+type BurstConfig = sim.BurstConfig
+
+// DegradeConfig enables graceful degradation under sustained overload:
+// sweep truncation to the most urgent requests and write-flush deferral.
+type DegradeConfig = sim.DegradeConfig
+
+// ConfigError is the typed validation error reported for bad
+// overload-robustness configurations, retrievable with errors.As.
+type ConfigError = sim.ConfigError

@@ -8,8 +8,8 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go build ./..."
 go build ./...
-echo "== go test -race ./internal/..."
-go test -race ./internal/...
+echo "== go test -race -short ./..."
+go test -race -short ./...
 echo "== go test ./..."
 go test ./...
 echo "check.sh: all green"

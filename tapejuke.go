@@ -127,6 +127,18 @@ type Config struct {
 	// Faults enables the fault-injection extension; see FaultConfig.
 	Faults FaultConfig
 
+	// Deadlines, Admission, Burst, Degrade and AgeWeight configure the
+	// overload-robustness extension: per-class request deadlines with
+	// expiry, a bounded admission queue, bursty arrivals, graceful
+	// degradation, and starvation-aware aging in tape selection. Every zero
+	// value disables its layer; with all of them off the simulator is
+	// bit-identical to the overload-free engine.
+	Deadlines DeadlineConfig
+	Admission AdmissionConfig
+	Burst     BurstConfig
+	Degrade   DegradeConfig
+	AgeWeight float64
+
 	// Observer, when non-nil, receives every simulator event inline. It is
 	// excluded from JSON serialization (live hook, not configuration).
 	Observer Observer `json:"-"`
@@ -244,6 +256,11 @@ func (c Config) toSim() (*sim.Config, error) {
 		MaxCompletions:   c.MaxCompletions,
 		Seed:             c.Seed,
 		Observer:         c.Observer,
+		Deadlines:        c.Deadlines,
+		Admission:        c.Admission,
+		Burst:            c.Burst,
+		Degrade:          c.Degrade,
+		AgeWeight:        c.AgeWeight,
 	}
 	if err := c.Writes.toSim(sc); err != nil {
 		return nil, err
