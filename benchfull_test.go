@@ -1,0 +1,38 @@
+// BenchmarkFullRun is the end-to-end hot-path benchmark: one complete
+// closed-model simulation (q=140, envelope-max-bandwidth, the paper's
+// heaviest evaluated workload) at a horizon scaled down far enough to
+// iterate but long enough that the steady-state event loop dominates
+// setup. It is the benchmark scripts/bench.sh uses to track whole-kernel
+// speed (and, with -benchmem, steady-state allocation) across PRs, and the
+// designated -calibrate benchmark for cmd/benchdiff cross-machine
+// normalization:
+//
+//	go test -run '^$' -bench BenchmarkFullRun -benchmem
+package tapejuke_test
+
+import (
+	"testing"
+
+	"tapejuke"
+)
+
+func BenchmarkFullRun(b *testing.B) {
+	var last *tapejuke.Result
+	for i := 0; i < b.N; i++ {
+		cfg := tapejuke.Config{
+			Algorithm:   tapejuke.EnvelopeMaxBandwidth,
+			QueueLength: 140,
+			HorizonSec:  200_000,
+			Seed:        1,
+		}.WithDefaults()
+		res, err := tapejuke.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.ThroughputKBps, "KB/s")
+		b.ReportMetric(float64(last.Completed), "requests")
+	}
+}

@@ -16,6 +16,14 @@
 // under LABEL and exits non-zero when any benchmark's ns/op regressed by
 // more than -threshold (default 1.20, i.e. 20%). scripts/bench.sh wires
 // this into the repo's pre-merge routine.
+//
+// With -calibrate NAME the comparison divides every benchmark's ns/op
+// ratio by the ratio of the named calibration benchmark, cancelling the
+// uniform machine-speed skew between the two runs (recorded entries from
+// different machines or CPU-frequency states drift together by a constant
+// factor; see DESIGN.md's bench note). The regression threshold then
+// applies to the normalized ratios, so a cross-machine comparison no
+// longer needs a manual stash A/B to interpret.
 package main
 
 import (
@@ -61,6 +69,7 @@ func main() {
 	label := flag.String("label", "", "label for this run (required)")
 	compare := flag.String("compare", "", "baseline label to diff against")
 	threshold := flag.Float64("threshold", 1.20, "ns/op regression factor that fails the run")
+	calibrate := flag.String("calibrate", "", "benchmark whose ns/op ratio normalizes all deltas (cancels uniform machine skew)")
 	flag.Parse()
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -label is required")
@@ -131,7 +140,7 @@ func main() {
 	if base == nil {
 		fatal(fmt.Errorf("no entry labelled %q in %s", *compare, *jsonPath))
 	}
-	if regressed := diff(base, &entry, *threshold); regressed {
+	if regressed := diff(base, &entry, *threshold, *calibrate); regressed {
 		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.2fx against %q\n", *threshold, *compare)
 		os.Exit(1)
 	}
@@ -177,8 +186,22 @@ func parse(r io.Reader) (map[string]Result, error) {
 }
 
 // diff prints a delta table and reports whether any common benchmark's
-// ns/op regressed beyond the threshold factor.
-func diff(base, cur *Entry, threshold float64) bool {
+// ns/op regressed beyond the threshold factor. With a calibration
+// benchmark named, every ratio is divided by that benchmark's own ratio
+// before the threshold applies, so a uniform machine-speed skew between
+// the two runs cancels out; the calibration benchmark itself (normalized
+// 1.00 by construction) is exempt from the regression check.
+func diff(base, cur *Entry, threshold float64, calibrate string) bool {
+	scale := 1.0
+	if calibrate != "" {
+		b, okB := base.Benchmarks[calibrate]
+		c, okC := cur.Benchmarks[calibrate]
+		if !okB || !okC || b.NsPerOp <= 0 || c.NsPerOp <= 0 {
+			fatal(fmt.Errorf("calibration benchmark %q missing from %q or %q", calibrate, base.Label, cur.Label))
+		}
+		scale = c.NsPerOp / b.NsPerOp
+		fmt.Printf("calibrated by %s: machine skew %.2fx divided out of every ratio\n", calibrate, scale)
+	}
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
 		if _, ok := base.Benchmarks[name]; ok {
@@ -193,9 +216,9 @@ func diff(base, cur *Entry, threshold float64) bool {
 		if b.NsPerOp <= 0 {
 			continue
 		}
-		ratio := c.NsPerOp / b.NsPerOp
+		ratio := c.NsPerOp / b.NsPerOp / scale
 		mark := ""
-		if ratio > threshold {
+		if ratio > threshold && name != calibrate {
 			mark = "  REGRESSION"
 			regressed = true
 		}

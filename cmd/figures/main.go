@@ -15,11 +15,20 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"tapejuke/figures"
 )
 
+// main delegates to run so that deferred cleanups -- in particular flushing
+// an in-progress CPU or heap profile -- execute on every exit path, which
+// os.Exit would skip.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		fig     = flag.String("fig", "", "regenerate a single figure (fig1, fig3..fig9, fig10a, fig10b)")
 		quick   = flag.Bool("quick", false, "200,000 s horizon")
@@ -27,11 +36,45 @@ func main() {
 		open    = flag.Bool("open", false, "open-queuing (Poisson) variants")
 		horizon = flag.Float64("horizon", 0, "explicit horizon in simulated seconds")
 		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "concurrent simulations (default GOMAXPROCS)")
-		svgDir  = flag.String("svg", "", "also render each figure as an SVG chart into this directory")
-		reps    = flag.Int("reps", 1, "replications per point (reports 95% confidence half-widths)")
+		workers = flag.Int("workers", 0,
+			fmt.Sprintf("concurrent simulations (0 = GOMAXPROCS, here %d)", runtime.GOMAXPROCS(0)))
+		svgDir     = flag.String("svg", "", "also render each figure as an SVG chart into this directory")
+		reps       = flag.Int("reps", 1, "replications per point (reports 95% confidence half-widths)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "figures: writing heap profile:", err)
+			}
+		}()
+	}
 
 	opts := figures.Options{Seed: *seed, Open: *open, Workers: *workers, Replications: *reps}
 	switch {
@@ -54,13 +97,13 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			return 1
 		}
 		for _, f := range figs {
 			path := filepath.Join(*svgDir, f.ID+".svg")
@@ -73,7 +116,7 @@ func main() {
 			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "figures:", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
@@ -112,4 +155,5 @@ func main() {
 		}
 		fmt.Println()
 	}
+	return 0
 }

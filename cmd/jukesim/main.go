@@ -14,12 +14,52 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"tapejuke"
 )
 
+// main delegates to run so that deferred cleanups -- in particular flushing
+// an in-progress CPU or heap profile -- execute on every exit path, which
+// os.Exit would skip.
 func main() {
+	os.Exit(run())
+}
+
+// startCPUProfile begins CPU profiling into path and returns the stop
+// function, or an error. The caller must defer the stop.
+func startCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile records an up-to-date heap profile at path.
+func writeMemProfile(path, prog string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final live set
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: writing heap profile: %v\n", prog, err)
+	}
+}
+
+func run() int {
 	var (
 		alg         = flag.String("alg", string(tapejuke.DynamicMaxBandwidth), "scheduling algorithm (see -list)")
 		list        = flag.Bool("list", false, "list available algorithms and exit")
@@ -67,14 +107,28 @@ func main() {
 		analytic    = flag.Bool("analytic", false, "also print the closed-form estimate (no-replication closed models)")
 		configPath  = flag.String("config", "", "load the full configuration from a JSON file (other workload flags are ignored)")
 		dump        = flag.Bool("dump", false, "print the effective configuration as JSON and exit")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := startCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jukesim:", err)
+			return 1
+		}
+		defer stop()
+	}
+	if *memprofile != "" {
+		defer writeMemProfile(*memprofile, "jukesim")
+	}
 
 	if *list {
 		for _, a := range tapejuke.Algorithms() {
 			fmt.Println(a)
 		}
-		return
+		return 0
 	}
 
 	var admit tapejuke.AdmitPolicy
@@ -87,7 +141,7 @@ func main() {
 		admit = tapejuke.AdmitShed
 	default:
 		fmt.Fprintf(os.Stderr, "jukesim: unknown admission policy %q\n", *admitPolicy)
-		os.Exit(1)
+		return 1
 	}
 
 	cfg := tapejuke.Config{
@@ -152,28 +206,28 @@ func main() {
 		data, err := os.ReadFile(*configPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jukesim:", err)
-			os.Exit(1)
+			return 1
 		}
 		cfg = tapejuke.Config{}
 		if err := json.Unmarshal(data, &cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "jukesim: parsing config:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *dump {
 		out, err := json.MarshalIndent(cfg.WithDefaults(), "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jukesim:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(string(out))
-		return
+		return 0
 	}
 
 	res, err := tapejuke.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jukesim:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	if *analytic {
@@ -247,4 +301,5 @@ func main() {
 				res.TruncatedSweeps, res.DeferredFlushes)
 		}
 	}
+	return 0
 }

@@ -69,11 +69,12 @@ type Envelope struct {
 	b *builder // reusable envelope construction state
 
 	// Reusable selection/extraction scratch.
-	sets      [][]*sched.Request // selectTape: per-tape in-envelope requests
-	positions []int              // selectTape: candidate positions
-	order     []int              // selectTape: sweep-ordered positions
-	oldestOn  []bool             // selectTape: tapes covering the oldest request
-	reqsBuf   []*sched.Request   // Reschedule: extracted requests
+	sets     [][]*sched.Request // selectTape: per-tape in-envelope requests
+	order    []int              // selectTape: sweep-ordered positions
+	posBits  posSorter          // selectTape: position counting-sort scratch
+	oldestOn []bool             // selectTape: tapes covering the oldest request
+	reqsBuf  []*sched.Request   // Reschedule: extracted requests
+	posSets  [][]int            // selectTape: positions of sets' requests, same shape
 }
 
 // NewEnvelope returns the envelope-extension scheduler with the given
@@ -129,7 +130,7 @@ func (e *Envelope) Reschedule(st *sched.State) (int, *sched.Sweep, bool) {
 		return 0, nil, false
 	}
 	st.RemovePending(reqs)
-	return tape, sched.NewSweep(reqs, st.StartHead(tape)), true
+	return tape, st.NewSweep(reqs, st.StartHead(tape)), true
 }
 
 // OnArrival implements the envelope incremental scheduler. A request for a
@@ -218,14 +219,25 @@ func (e *Envelope) selectTape(st *sched.State, env []int) (int, bool) {
 	} else {
 		e.sets = e.sets[:n]
 	}
-	sets := e.sets
+	if cap(e.posSets) < n {
+		grown := make([][]int, n)
+		copy(grown, e.posSets)
+		e.posSets = grown
+	} else {
+		e.posSets = e.posSets[:n]
+	}
+	sets, posSets := e.sets, e.posSets
 	for t := range sets {
 		sets[t] = sets[t][:0]
+		posSets[t] = posSets[t][:0]
 	}
+	// The replica positions are recorded alongside the request sets so the
+	// bandwidth scoring below never repeats the replica lookup.
 	for _, r := range st.Pending {
 		for _, c := range st.Layout.Replicas(r.Block) {
 			if c.Pos+1 <= env[c.Tape] && st.CopyOK(c) {
 				sets[c.Tape] = append(sets[c.Tape], r)
+				posSets[c.Tape] = append(posSets[c.Tape], c.Pos)
 			}
 		}
 	}
@@ -294,14 +306,8 @@ func (e *Envelope) selectTape(st *sched.State, env []int) (int, bool) {
 		}
 		var score float64
 		if e.variant == MaxBandwidth {
-			positions := e.positions[:0]
-			for _, r := range sets[t] {
-				c, _ := st.Layout.ReplicaOn(r.Block, t)
-				positions = append(positions, c.Pos)
-			}
-			e.positions = positions[:0]
 			startHead := st.StartHead(t)
-			e.order = sweepOrderInto(e.order, positions, startHead)
+			e.order = sweepOrderBits(e.order, e.posSets[t], startHead, &e.posBits)
 			score = st.Costs.EffectiveBandwidth(st.Mounted, st.Head, t, startHead, e.order)
 		} else {
 			score = float64(len(sets[t]))

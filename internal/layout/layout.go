@@ -178,22 +178,53 @@ func Build(cfg Config) (*Layout, error) {
 		return nil, errors.New("layout: vertical replication needs at least two tapes")
 	}
 
+	// Every hot block gets the same number of copies, every cold block one;
+	// carving all replica lists out of a single arena keeps Build to a
+	// handful of allocations instead of one tiny slice per block.
+	copiesPerHot := cfg.Replicas + 1
+	if cfg.Kind == Vertical && cfg.Tapes == 1 {
+		copiesPerHot = 1
+	}
+	numCold := numBlocks - numHot
+	arena := make([]Replica, numHot*copiesPerHot+numCold)
+
 	l := &Layout{cfg: cfg, numHot: numHot}
 	l.copies = make([][]Replica, numBlocks)
+	for b := 0; b < numHot; b++ {
+		off := b * copiesPerHot
+		l.copies[b] = arena[off : off : off+copiesPerHot]
+	}
+	for c := 0; c < numCold; c++ {
+		off := numHot*copiesPerHot + c
+		l.copies[numHot+c] = arena[off : off : off+1]
+	}
 	l.blockAt = make([][]BlockID, cfg.Tapes)
+	rows := make([]BlockID, cfg.Tapes*cfg.TapeCapBlocks)
+	for i := range rows {
+		rows[i] = -1
+	}
 	for t := range l.blockAt {
-		row := make([]BlockID, cfg.TapeCapBlocks)
-		for i := range row {
-			row[i] = -1
-		}
-		l.blockAt[t] = row
+		l.blockAt[t] = rows[t*cfg.TapeCapBlocks : (t+1)*cfg.TapeCapBlocks : (t+1)*cfg.TapeCapBlocks]
 	}
 
-	// Assign each hot copy (original + replicas) to a tape.
-	perTapeHot := make([][]BlockID, cfg.Tapes)
+	// Assign each hot copy (original + replicas) to a tape. One counting
+	// pass sizes the flat per-tape slab, one fill pass populates it.
+	scratch := make([]int, 0, copiesPerHot)
+	hotCount := make([]int, cfg.Tapes)
 	for b := 0; b < numHot; b++ {
-		tapes := hotCopyTapes(cfg, b)
-		for _, t := range tapes {
+		for _, t := range hotCopyTapes(cfg, b, scratch) {
+			hotCount[t]++
+		}
+	}
+	perTapeHot := make([][]BlockID, cfg.Tapes)
+	hotSlab := make([]BlockID, numHot*copiesPerHot)
+	off := 0
+	for t := range perTapeHot {
+		perTapeHot[t] = hotSlab[off : off : off+hotCount[t]]
+		off += hotCount[t]
+	}
+	for b := 0; b < numHot; b++ {
+		for _, t := range hotCopyTapes(cfg, b, scratch) {
 			perTapeHot[t] = append(perTapeHot[t], BlockID(b))
 		}
 	}
@@ -245,7 +276,6 @@ func Build(cfg Config) (*Layout, error) {
 
 	// Fill cold blocks round-robin across tapes into ascending free
 	// positions, skipping tapes that are full.
-	numCold := numBlocks - numHot
 	nextFree := make([]int, cfg.Tapes) // scan cursor per tape
 	t := 0
 	for c := 0; c < numCold; c++ {
@@ -263,7 +293,7 @@ func Build(cfg Config) (*Layout, error) {
 			if pos >= 0 {
 				nextFree[tt] = pos + 1
 				l.blockAt[tt][pos] = b
-				l.copies[b] = []Replica{{Tape: tt, Pos: pos}}
+				l.copies[b] = append(l.copies[b], Replica{Tape: tt, Pos: pos})
 				t = (tt + 1) % cfg.Tapes
 				placed = true
 				break
@@ -309,9 +339,10 @@ func coldShares(cfg Config, perTapeHot [][]BlockID, cold int) []int {
 
 // hotCopyTapes lists the tapes holding copies of hot block b (original
 // first in the vertical sense is handled separately; this list is in
-// ascending rotation order).
-func hotCopyTapes(cfg Config, b int) []int {
-	tapes := make([]int, 0, cfg.Replicas+1)
+// ascending rotation order). The result is built in buf's storage, so one
+// scratch buffer serves every call in a build loop.
+func hotCopyTapes(cfg Config, b int, buf []int) []int {
+	tapes := buf[:0]
 	if cfg.Kind == Vertical {
 		tapes = append(tapes, 0)
 		if cfg.Tapes > 1 {

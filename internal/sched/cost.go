@@ -7,13 +7,42 @@ import (
 // CostModel evaluates the execution time of candidate schedules on one tape
 // using the drive timing model. Head positions and block positions are in
 // block units; a head at position h sits at byte offset h*BlockMB megabytes.
+//
+// The model normally crosses the tapemodel.Positioner interface for every
+// evaluation. EnableTable precomputes a dense per-distance cost table for
+// piecewise-linear profiles, after which on-grid evaluations are slice
+// loads with bit-identical results; off-grid positions and non-tabulable
+// positioners (the serpentine model) keep the interface path.
 type CostModel struct {
 	Prof    tapemodel.Positioner
 	BlockMB float64
+
+	tab *tapemodel.CostTable // nil until EnableTable, or when not tabulable
 }
+
+// EnableTable precomputes the dense cost table covering block positions
+// 0..maxBlocks and reports whether the profile was tabulable (exact block
+// grid, piecewise-linear profile). On false the model keeps the interface
+// path everywhere; either way results are bit-identical.
+func (c *CostModel) EnableTable(maxBlocks int) bool {
+	c.tab = tapemodel.NewCostTable(c.Prof, c.BlockMB, maxBlocks)
+	return c.tab != nil
+}
+
+// Table returns the enabled cost table, or nil. Exposed for tests.
+func (c *CostModel) Table() *tapemodel.CostTable { return c.tab }
 
 // PosMB converts a block-unit position to a megabyte offset.
 func (c *CostModel) PosMB(pos int) float64 { return float64(pos) * c.BlockMB }
+
+// Locate returns the time and direction of repositioning the head between
+// two block boundaries (Profile.Locate on the megabyte offsets).
+func (c *CostModel) Locate(from, to int) (float64, tapemodel.Direction) {
+	if t := c.tab; t != nil && t.Covers(from) && t.Covers(to) {
+		return t.Locate(from, to)
+	}
+	return c.Prof.Locate(c.PosMB(from), c.PosMB(to))
+}
 
 // ServeOne returns the time to serve a single block at position pos with the
 // head currently at block-boundary head, and the resulting head position
@@ -28,6 +57,10 @@ func (c *CostModel) ServeOne(head, pos int) (seconds float64, newHead int) {
 // ServeOneParts is ServeOne with the locate and read components reported
 // separately, for time-decomposition accounting.
 func (c *CostModel) ServeOneParts(head, pos int) (locate, read float64, newHead int) {
+	if t := c.tab; t != nil && t.Covers(head) && t.Covers(pos) {
+		loc, dir := t.Locate(head, pos)
+		return loc, t.ReadBlock(dir), pos + 1
+	}
 	loc, dir := c.Prof.Locate(c.PosMB(head), c.PosMB(pos))
 	rd := c.Prof.Read(c.BlockMB, dir)
 	return loc, rd, pos + 1
@@ -57,10 +90,27 @@ func (c *CostModel) SwitchCost(mounted, head, tape int) float64 {
 	if tape == mounted {
 		return 0
 	}
+	if t := c.tab; t != nil {
+		if mounted < 0 {
+			return t.InitialLoad()
+		}
+		if t.Covers(head) {
+			return t.FullSwitch(head)
+		}
+	}
 	if mounted < 0 {
 		return c.Prof.InitialLoad()
 	}
 	return c.Prof.FullSwitch(c.PosMB(head))
+}
+
+// SwitchTime returns the mechanical tape-switch time (eject + robot +
+// load), excluding the head-position-dependent rewind.
+func (c *CostModel) SwitchTime() float64 {
+	if t := c.tab; t != nil {
+		return t.SwitchTime()
+	}
+	return c.Prof.SwitchTime()
 }
 
 // EffectiveBandwidth returns the effective bandwidth (megabytes per second)

@@ -111,3 +111,55 @@ func TestEffectiveBandwidth(t *testing.T) {
 		t.Errorf("effective bandwidth %v exceeds streaming rate %v", four, stream)
 	}
 }
+
+// TestEnableTableSerpentine asserts the cost model refuses a table for the
+// serpentine positioner and keeps serving bit-identical costs through the
+// interface path.
+func TestEnableTableSerpentine(t *testing.T) {
+	tabled := &CostModel{Prof: tapemodel.DLT7000Class(), BlockMB: 16}
+	if tabled.EnableTable(448) {
+		t.Fatal("EnableTable must report false for a serpentine positioner")
+	}
+	if tabled.Table() != nil {
+		t.Fatal("serpentine cost model must have no table")
+	}
+	plain := &CostModel{Prof: tapemodel.DLT7000Class(), BlockMB: 16}
+	for _, pair := range [][2]int{{0, 10}, {10, 0}, {5, 5}, {447, 3}, {3, 447}} {
+		gotLoc, gotRead, gotHead := tabled.ServeOneParts(pair[0], pair[1])
+		wantLoc, wantRead, wantHead := plain.ServeOneParts(pair[0], pair[1])
+		if math.Float64bits(gotLoc) != math.Float64bits(wantLoc) ||
+			math.Float64bits(gotRead) != math.Float64bits(wantRead) ||
+			gotHead != wantHead {
+			t.Errorf("ServeOneParts(%d, %d) = (%v, %v, %d), interface path says (%v, %v, %d)",
+				pair[0], pair[1], gotLoc, gotRead, gotHead, wantLoc, wantRead, wantHead)
+		}
+	}
+}
+
+// TestEnableTableBitIdentical asserts that enabling the table on a
+// piecewise-linear profile changes no cost bit anywhere on the grid.
+func TestEnableTableBitIdentical(t *testing.T) {
+	tabled := testCosts()
+	if !tabled.EnableTable(448) {
+		t.Fatal("EnableTable must succeed on the exact 16 MB grid")
+	}
+	plain := testCosts()
+	for from := 0; from <= 448; from += 7 {
+		for to := 0; to <= 448; to += 11 {
+			gotSec, gotDir := tabled.Locate(from, to)
+			wantSec, wantDir := plain.Locate(from, to)
+			if math.Float64bits(gotSec) != math.Float64bits(wantSec) || gotDir != wantDir {
+				t.Fatalf("Locate(%d, %d) = (%v, %v), interface path says (%v, %v)",
+					from, to, gotSec, gotDir, wantSec, wantDir)
+			}
+		}
+	}
+	for _, head := range []int{0, 1, 100, 448} {
+		if got, want := tabled.SwitchCost(0, head, 2), plain.SwitchCost(0, head, 2); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("SwitchCost(0, %d, 2) = %v, interface path says %v", head, got, want)
+		}
+	}
+	if got, want := tabled.SwitchCost(-1, 0, 2), plain.SwitchCost(-1, 0, 2); got != want {
+		t.Errorf("empty-drive SwitchCost = %v, interface path says %v", got, want)
+	}
+}

@@ -30,7 +30,7 @@ func (*FIFO) Reschedule(st *State) (int, *Sweep, bool) {
 	}
 	r.Target = target
 	st.RemovePending([]*Request{r})
-	return target.Tape, NewSweep([]*Request{r}, st.StartHead(target.Tape)), true
+	return target.Tape, st.NewSweep([]*Request{r}, st.StartHead(target.Tape)), true
 }
 
 // OnArrival always defers: FIFO never reorders.

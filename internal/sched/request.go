@@ -44,4 +44,9 @@ type Request struct {
 	// process population, its completion or expiry does not respawn a
 	// replacement request.
 	Ephemeral bool
+
+	// OnCalendar marks a request currently held by the engine's deadline
+	// calendar. The engine's request free list may only recycle a request
+	// once it is both Done and off the calendar.
+	OnCalendar bool
 }

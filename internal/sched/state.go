@@ -43,6 +43,48 @@ type Shared struct {
 	// bit-identical to the unaged implementation; the limit of large weights
 	// converges on the paper's oldest-request restriction.
 	AgeWeight float64
+
+	// sweepFree pools drained Sweep structs (returned by ReleaseSweep) so
+	// steady-state reschedules reuse sweep headers and phase arrays instead
+	// of allocating fresh ones per sweep.
+	sweepFree []*Sweep
+}
+
+// NewSweep builds a sweep like the package function, drawing the Sweep
+// struct and its phase arrays from the shared pool when one is free.
+func (sh *Shared) NewSweep(reqs []*Request, head int) *Sweep {
+	n := len(sh.sweepFree)
+	if n == 0 {
+		return NewSweep(reqs, head)
+	}
+	s := sh.sweepFree[n-1]
+	sh.sweepFree[n-1] = nil
+	sh.sweepFree = sh.sweepFree[:n-1]
+	s.init(reqs, head)
+	return s
+}
+
+// ReleaseSweep returns a sweep the engine has finished executing (drained,
+// aborted, or replaced) to the pool. The caller must drop every reference
+// to the sweep; nil is ignored.
+func (sh *Shared) ReleaseSweep(s *Sweep) {
+	if s == nil {
+		return
+	}
+	s.Forward, s.Reverse = nil, nil
+	fwd := s.fwd0[:cap(s.fwd0)]
+	for i := range fwd {
+		fwd[i] = nil
+	}
+	rev := s.rev0[:cap(s.rev0)]
+	for i := range rev {
+		rev[i] = nil
+	}
+	tmp := s.tmp[:cap(s.tmp)]
+	for i := range tmp {
+		tmp[i] = nil
+	}
+	sh.sweepFree = append(sh.sweepFree, s)
 }
 
 // slackFloor bounds deadline slack away from zero so the urgency of a

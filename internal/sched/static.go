@@ -45,5 +45,5 @@ func extractTape(st *State, tape int) (int, *Sweep, bool) {
 		r.Target = c
 	}
 	st.RemovePending(reqs)
-	return tape, NewSweep(reqs, st.StartHead(tape)), true
+	return tape, st.NewSweep(reqs, st.StartHead(tape)), true
 }

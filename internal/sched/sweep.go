@@ -13,6 +13,15 @@ import (
 type Sweep struct {
 	Forward []*Request // ascending Target.Pos
 	Reverse []*Request // descending Target.Pos
+
+	// fwd0/rev0 remember the phase slices' backing arrays from their start
+	// (Pop advances Forward/Reverse by re-slicing), so a drained sweep
+	// returned to the Shared pool can rebuild in place without reallocating.
+	fwd0, rev0 []*Request
+
+	// sortByPos scratch.
+	keys []uint64
+	tmp  []*Request
 }
 
 // NewSweep builds a sweep over the given requests (whose Targets must
@@ -21,33 +30,61 @@ type Sweep struct {
 // requests below the head form the reverse phase in descending order. Ties
 // on position preserve arrival order.
 func NewSweep(reqs []*Request, head int) *Sweep {
-	nf := 0
-	for _, r := range reqs {
-		if r.Target.Pos >= head {
-			nf++
-		}
-	}
 	s := &Sweep{}
-	if nf > 0 {
-		s.Forward = make([]*Request, 0, nf)
-	}
-	if len(reqs) > nf {
-		s.Reverse = make([]*Request, 0, len(reqs)-nf)
-	}
+	s.init(reqs, head)
+	return s
+}
+
+// init (re)builds the sweep contents, reusing any backing arrays the sweep
+// already owns.
+func (s *Sweep) init(reqs []*Request, head int) {
+	fwd, rev := s.fwd0[:0], s.rev0[:0]
 	for _, r := range reqs {
 		if r.Target.Pos >= head {
-			s.Forward = append(s.Forward, r)
+			fwd = append(fwd, r)
 		} else {
-			s.Reverse = append(s.Reverse, r)
+			rev = append(rev, r)
 		}
 	}
-	slices.SortStableFunc(s.Forward, func(a, b *Request) int {
-		return a.Target.Pos - b.Target.Pos
-	})
-	slices.SortStableFunc(s.Reverse, func(a, b *Request) int {
-		return b.Target.Pos - a.Target.Pos
-	})
-	return s
+	s.sortByPos(fwd, false)
+	s.sortByPos(rev, true)
+	s.fwd0, s.rev0 = fwd, rev
+	s.Forward, s.Reverse = fwd, rev
+}
+
+// sortByPos stable-sorts one phase by Target.Pos, descending when desc.
+// Longer phases sort (pos, original index) packed into uint64 keys -- the
+// index in the low bits reproduces stability exactly -- trading two extra
+// passes for an ordered sort with single-instruction comparisons instead
+// of a comparator-function stable sort.
+func (s *Sweep) sortByPos(phase []*Request, desc bool) {
+	if len(phase) < 16 {
+		if desc {
+			slices.SortStableFunc(phase, func(a, b *Request) int {
+				return b.Target.Pos - a.Target.Pos
+			})
+		} else {
+			slices.SortStableFunc(phase, func(a, b *Request) int {
+				return a.Target.Pos - b.Target.Pos
+			})
+		}
+		return
+	}
+	keys := s.keys[:0]
+	for i, r := range phase {
+		p := uint32(r.Target.Pos)
+		if desc {
+			p = ^p
+		}
+		keys = append(keys, uint64(p)<<32|uint64(uint32(i)))
+	}
+	s.keys = keys
+	slices.Sort(keys)
+	tmp := append(s.tmp[:0], phase...)
+	s.tmp = tmp
+	for i, k := range keys {
+		phase[i] = tmp[uint32(k)]
+	}
 }
 
 // Len returns the number of requests remaining in the sweep.

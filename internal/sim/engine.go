@@ -37,6 +37,16 @@ type engine struct {
 	outstanding int64
 	nextID      int64
 
+	// reqFree recycles Request structs whose previous occupant has fully
+	// left the system (Done and off the deadline calendar), making
+	// steady-state request turnover allocation-free.
+	reqFree []*sched.Request
+
+	// intn is e.gen.Rand().Int63n, bound once; passing the bound method
+	// value into Reservoir.Add avoids allocating a fresh closure per
+	// completion.
+	intn func(int64) int64
+
 	// metrics
 	resp         stats.Accumulator
 	respSample   *stats.Reservoir
@@ -126,6 +136,11 @@ func newEngine(cfg Config) (*engine, error) {
 		Layout: lay,
 		Costs:  &sched.CostModel{Prof: cfg.Profile, BlockMB: cfg.BlockMB},
 	}
+	// Devirtualize the cost hot path: precompute the dense block-grid cost
+	// table covering the whole tape (data region plus write reserve). The
+	// table is bit-exact, so results are identical whether or not it builds
+	// (it declines serpentine profiles and inexact grids).
+	sh.Costs.EnableTable(int(cfg.TapeCapMB / cfg.BlockMB))
 	if nd > 1 {
 		// The busy vector exists only with competing drives; the single-drive
 		// fast path keeps Available to a nil check.
@@ -142,6 +157,7 @@ func newEngine(cfg Config) (*engine, error) {
 		respSample:   stats.NewReservoir(4096),
 		readsPerTape: make([]int64, cfg.Tapes),
 	}
+	e.intn = e.gen.Rand().Int63n
 	for i := range e.drives {
 		s := cfg.Scheduler
 		if i > 0 {
@@ -173,14 +189,33 @@ func newEngine(cfg Config) (*engine, error) {
 	return e, nil
 }
 
-// newRequest mints a request for a randomly drawn block.
+// newRequest mints a request for a randomly drawn block, reusing a recycled
+// Request struct when one is free.
 func (e *engine) newRequest(at float64) *sched.Request {
 	e.nextID++
 	e.totalArr++
 	e.outstanding++
-	r := &sched.Request{ID: e.nextID, Block: e.gen.Next(), Arrival: at}
+	var r *sched.Request
+	if n := len(e.reqFree); n > 0 {
+		r = e.reqFree[n-1]
+		e.reqFree[n-1] = nil
+		e.reqFree = e.reqFree[:n-1]
+	} else {
+		r = new(sched.Request)
+	}
+	*r = sched.Request{ID: e.nextID, Block: e.gen.Next(), Arrival: at}
 	e.assignDeadline(r)
 	return r
+}
+
+// freeRequest returns a request that has left the system to the free list.
+// Requests still referenced by the deadline calendar are left alone; the
+// calendar's lazy pruning frees them when they pop.
+func (e *engine) freeRequest(r *sched.Request) {
+	if r.OnCalendar {
+		return
+	}
+	e.reqFree = append(e.reqFree, r)
 }
 
 // pumpArrivals delivers every external arrival due by now: first through
@@ -239,7 +274,7 @@ func (e *engine) complete(r *sched.Request) {
 		e.completed++
 		rt := e.now - r.Arrival
 		e.resp.Add(rt)
-		e.respSample.Add(rt, e.gen.Rand().Int63n)
+		e.respSample.Add(rt, e.intn)
 		if r.FaultedAt > 0 {
 			e.flt.rerouted++
 			e.flt.recovery.Add(e.now - r.FaultedAt)
@@ -261,7 +296,9 @@ func (e *engine) complete(r *sched.Request) {
 	}
 	e.push(Event{Kind: EventComplete, Time: e.now, Tape: r.Target.Tape,
 		Pos: r.Target.Pos, Request: r.ID})
-	if e.arr.Closed() && !r.Ephemeral {
+	respawn := e.arr.Closed() && !r.Ephemeral
+	e.freeRequest(r)
+	if respawn {
 		e.deliver(e.newRequest(e.now))
 	}
 }

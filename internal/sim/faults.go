@@ -79,6 +79,7 @@ func (e *engine) unserviceable(r *sched.Request) {
 		e.flt.unservPost++
 	}
 	e.push(Event{Kind: EventUnserviceable, Time: e.now, Tape: -1, Pos: -1, Request: r.ID})
+	e.freeRequest(r)
 }
 
 // dropUnserviceable scans the pending list after the copy-availability mask
@@ -151,6 +152,7 @@ func (e *engine) abortSweep(d int, r *sched.Request) {
 		for !dr.st.Active.Empty() {
 			dr.abort = append(dr.abort, dr.st.Active.Pop())
 		}
+		e.sh.ReleaseSweep(dr.st.Active)
 		dr.st.Active = nil
 	}
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -88,7 +87,7 @@ func (e *engine) run() (*Result, error) {
 				wake = e.writes.next
 			}
 			if e.ovl != nil {
-				if te := e.ovl.nextDeadline(); te < wake {
+				if te := e.nextDeadline(); te < wake {
 					wake = te
 				}
 			}
@@ -116,7 +115,7 @@ func (e *engine) run() (*Result, error) {
 			// the earliest completion, advance only to the deadline so the
 			// expiry (and any closed-model respawn it triggers) is processed
 			// at its own time, keeping the event stream in global order.
-			if te := e.ovl.nextDeadline(); te <= e.drives[d].freeAt && te < e.cfg.Horizon {
+			if te := e.nextDeadline(); te <= e.drives[d].freeAt && te < e.cfg.Horizon {
 				e.advanceClock(te)
 				e.flushEvents()
 				continue
@@ -225,6 +224,7 @@ func (e *engine) issue(d int) error {
 			e.startRead(d)
 			return nil
 		}
+		e.sh.ReleaseSweep(st.Active)
 		st.Active = nil
 		// The sweep just drained: the write extension may piggyback a flush
 		// on the mounted tape before the next major reschedule.
@@ -358,25 +358,67 @@ type queuedEvent struct {
 	seq int64
 }
 
-// eventQueue is a min-heap on (time, sequence).
+// eventQueue is a monomorphic 4-ary min-heap on (time, sequence). It
+// replaces the container/heap machinery: pushes and pops are direct slice
+// operations on the concrete element type, with no interface boxing (which
+// allocated one heap copy of every pushed event), and the 4-ary layout
+// halves the levels walked per operation. (time, sequence) is a total
+// order, so the pop sequence -- and hence the observed event stream -- is
+// identical to the binary interface heap it replaces.
 type eventQueue []queuedEvent
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].ev.Time != q[j].ev.Time {
 		return q[i].ev.Time < q[j].ev.Time
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(queuedEvent)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = queuedEvent{}
-	*q = old[:n-1]
-	return it
+
+func (q *eventQueue) push(it queuedEvent) {
+	h := append(*q, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !h.less(i, p) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	*q = h
+}
+
+func (q *eventQueue) pop() queuedEvent {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = queuedEvent{}
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h.less(j, best) {
+				best = j
+			}
+		}
+		if !h.less(best, i) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top
 }
 
 // push queues an event for the observer. Events may be pushed with future
@@ -388,7 +430,7 @@ func (e *engine) push(ev Event) {
 		return
 	}
 	e.evSeq++
-	heap.Push(&e.evq, queuedEvent{ev: ev, seq: e.evSeq})
+	e.evq.push(queuedEvent{ev: ev, seq: e.evSeq})
 }
 
 // flushEvents delivers every queued event due by now.
@@ -397,6 +439,6 @@ func (e *engine) flushEvents() {
 		return
 	}
 	for len(e.evq) > 0 && e.evq[0].ev.Time <= e.now {
-		e.cfg.Observer.Observe(heap.Pop(&e.evq).(queuedEvent).ev)
+		e.cfg.Observer.Observe(e.evq.pop().ev)
 	}
 }

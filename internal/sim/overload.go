@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
@@ -32,27 +31,68 @@ type overloadState struct {
 	deferred      int64
 }
 
-// deadlineHeap is a min-heap of deadlined requests on (Deadline, ID).
-// Requests that leave the system another way (completion, shedding,
-// unserviceable) stay in the heap with Done set and are skipped lazily.
+// deadlineHeap is a monomorphic 4-ary min-heap of deadlined requests on
+// (Deadline, ID) -- a total order, so pop order matches the binary
+// interface heap it replaces. Requests that leave the system another way
+// (completion, shedding, unserviceable) stay in the heap with Done set and
+// are skipped lazily. OnCalendar mirrors heap membership so the request
+// free list knows when a request is fully unreferenced.
 type deadlineHeap []*sched.Request
 
-func (h deadlineHeap) Len() int { return len(h) }
-func (h deadlineHeap) Less(i, j int) bool {
+func (h deadlineHeap) less(i, j int) bool {
 	if h[i].Deadline != h[j].Deadline {
 		return h[i].Deadline < h[j].Deadline
 	}
 	return h[i].ID < h[j].ID
 }
-func (h deadlineHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *deadlineHeap) Push(x interface{}) { *h = append(*h, x.(*sched.Request)) }
-func (h *deadlineHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	r := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return r
+
+func (h *deadlineHeap) push(r *sched.Request) {
+	r.OnCalendar = true
+	q := append(*h, r)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *deadlineHeap) pop() *sched.Request {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if q.less(j, best) {
+				best = j
+			}
+		}
+		if !q.less(best, i) {
+			break
+		}
+		q[i], q[best] = q[best], q[i]
+		i = best
+	}
+	top.OnCalendar = false
+	return top
 }
 
 // evictor is implemented by schedulers that want to hear about requests the
@@ -119,17 +159,19 @@ func (e *engine) assignDeadline(r *sched.Request) {
 	}
 	if ttl := o.ttl.TTL(r.Block); ttl > 0 {
 		r.Deadline = r.Arrival + ttl
-		heap.Push(&o.dl, r)
+		o.dl.push(r)
 	}
 }
 
 // nextDeadline returns the earliest live deadline on the calendar, pruning
-// requests that already left the system, or +Inf when none remain.
-func (o *overloadState) nextDeadline() float64 {
-	for o.dl.Len() > 0 && o.dl[0].Done {
-		heap.Pop(&o.dl)
+// (and recycling) requests that already left the system, or +Inf when none
+// remain.
+func (e *engine) nextDeadline() float64 {
+	o := e.ovl
+	for len(o.dl) > 0 && o.dl[0].Done {
+		e.freeRequest(o.dl.pop())
 	}
-	if o.dl.Len() == 0 {
+	if len(o.dl) == 0 {
 		return math.Inf(1)
 	}
 	return o.dl[0].Deadline
@@ -145,18 +187,18 @@ func (e *engine) expireDue() {
 	if o == nil {
 		return
 	}
-	for o.dl.Len() > 0 {
+	for len(o.dl) > 0 {
 		r := o.dl[0]
 		if r.Done {
-			heap.Pop(&o.dl)
+			e.freeRequest(o.dl.pop())
 			continue
 		}
 		if r.Deadline > e.now {
 			return
 		}
-		heap.Pop(&o.dl)
+		o.dl.pop()
 		if e.inFlightReq(r) {
-			continue // completes late; counted at completion
+			continue // completes late; counted at completion and recycled there
 		}
 		e.expireOne(r)
 	}
@@ -199,7 +241,9 @@ func (e *engine) expireOne(r *sched.Request) {
 		e.noteQueueAge(e.now - r.Arrival)
 	}
 	e.push(Event{Kind: EventExpire, Time: e.now, Tape: -1, Pos: -1, Request: r.ID})
-	if e.arr.Closed() && !r.Ephemeral {
+	respawn := e.arr.Closed() && !r.Ephemeral
+	e.freeRequest(r)
+	if respawn {
 		e.deliver(e.newRequest(e.now))
 	}
 }
@@ -235,6 +279,7 @@ func (e *engine) admitArrival() bool {
 			e.noteQueueAge(e.now - victim.Arrival)
 		}
 		e.push(Event{Kind: EventShed, Time: e.now, Tape: -1, Pos: -1, Request: victim.ID})
+		e.freeRequest(victim)
 		return true
 	}
 	o.rejected++
@@ -295,7 +340,8 @@ func (e *engine) truncateSweep(st *sched.State, tape int, sweep *sched.Sweep) *s
 		e.insertPending(r)
 	}
 	e.ovl.truncated++
-	return sched.NewSweep(reqs[:max], st.StartHead(tape))
+	e.sh.ReleaseSweep(sweep)
+	return e.sh.NewSweep(reqs[:max], st.StartHead(tape))
 }
 
 // insertPending returns a request to the pending list preserving
