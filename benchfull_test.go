@@ -2,12 +2,15 @@
 // closed-model simulation (q=140, envelope-max-bandwidth, the paper's
 // heaviest evaluated workload) at a horizon scaled down far enough to
 // iterate but long enough that the steady-state event loop dominates
-// setup. It is the benchmark scripts/bench.sh uses to track whole-kernel
-// speed (and, with -benchmem, steady-state allocation) across PRs, and the
+// setup. As of PR6 it measures the Runner (session-reuse) path, the one
+// the figures experiment engine actually executes per worker;
+// BenchmarkFullRunCold keeps the build-everything-fresh path measurable.
+// It is the benchmark scripts/bench.sh uses to track whole-kernel speed
+// (and, with -benchmem, steady-state allocation) across PRs, and the
 // designated -calibrate benchmark for cmd/benchdiff cross-machine
 // normalization:
 //
-//	go test -run '^$' -bench BenchmarkFullRun -benchmem
+//	go test -run '^$' -bench 'BenchmarkFullRun$' -benchmem
 package tapejuke_test
 
 import (
@@ -16,15 +19,41 @@ import (
 	"tapejuke"
 )
 
+// fullRunConfig is the benchmark workload shared by the warm and cold
+// variants.
+func fullRunConfig() tapejuke.Config {
+	return tapejuke.Config{
+		Algorithm:   tapejuke.EnvelopeMaxBandwidth,
+		QueueLength: 140,
+		HorizonSec:  200_000,
+		Seed:        1,
+	}.WithDefaults()
+}
+
 func BenchmarkFullRun(b *testing.B) {
+	cfg := fullRunConfig()
+	r := tapejuke.NewRunner()
 	var last *tapejuke.Result
 	for i := 0; i < b.N; i++ {
-		cfg := tapejuke.Config{
-			Algorithm:   tapejuke.EnvelopeMaxBandwidth,
-			QueueLength: 140,
-			HorizonSec:  200_000,
-			Seed:        1,
-		}.WithDefaults()
+		res, err := r.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.ThroughputKBps, "KB/s")
+		b.ReportMetric(float64(last.Completed), "requests")
+	}
+}
+
+// BenchmarkFullRunCold measures the same workload through the one-shot Run
+// path, rebuilding layout, cost table, and scratch every iteration -- the
+// setup cost the Runner amortizes away.
+func BenchmarkFullRunCold(b *testing.B) {
+	cfg := fullRunConfig()
+	var last *tapejuke.Result
+	for i := 0; i < b.N; i++ {
 		res, err := tapejuke.Run(cfg)
 		if err != nil {
 			b.Fatal(err)

@@ -30,7 +30,7 @@ func main() {
 
 func run() int {
 	var (
-		fig     = flag.String("fig", "", "regenerate a single figure (fig1, fig3..fig9, fig10a, fig10b)")
+		fig     = flag.String("fig", "", "regenerate a single figure (fig1, fig3..fig9, fig10a, fig10b, or an extension: convergence, serpentine, lto9, multidrive, gradualfill)")
 		quick   = flag.Bool("quick", false, "200,000 s horizon")
 		full    = flag.Bool("full", false, "the paper's 10,000,000 s horizon")
 		open    = flag.Bool("open", false, "open-queuing (Poisson) variants")
@@ -40,10 +40,25 @@ func run() int {
 			fmt.Sprintf("concurrent simulations (0 = GOMAXPROCS, here %d)", runtime.GOMAXPROCS(0)))
 		svgDir     = flag.String("svg", "", "also render each figure as an SVG chart into this directory")
 		reps       = flag.Int("reps", 1, "replications per point (reports 95% confidence half-widths)")
+		drive      = flag.String("drive", "", "drive profile for the simulated figures (default exb8505xl; also: fast, dlt7000, lto9)")
+		rao        = flag.Bool("rao", false, "apply Recommended-Access-Order sweep reordering (requires -drive dlt7000 or lto9)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "figures: -workers must be >= 0 (0 = GOMAXPROCS), got %d\n", *workers)
+		return 1
+	}
+	if *reps < 1 {
+		fmt.Fprintf(os.Stderr, "figures: -reps must be >= 1, got %d\n", *reps)
+		return 1
+	}
+	if *rao && *drive != "dlt7000" && *drive != "lto9" {
+		fmt.Fprintf(os.Stderr, "figures: -rao requires a serpentine drive (-drive dlt7000 or -drive lto9), got %q\n", *drive)
+		return 1
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -76,7 +91,10 @@ func run() int {
 		}()
 	}
 
-	opts := figures.Options{Seed: *seed, Open: *open, Workers: *workers, Replications: *reps}
+	opts := figures.Options{
+		Seed: *seed, Open: *open, Workers: *workers, Replications: *reps,
+		DriveProfile: *drive, RAO: *rao,
+	}
 	switch {
 	case *horizon > 0:
 		opts.HorizonSec = *horizon
@@ -123,37 +141,10 @@ func run() int {
 	}
 
 	for _, f := range figs {
-		fmt.Printf("# %s: %s\n", f.ID, f.Title)
-		valueCol := f.ValueName
-		if valueCol == "" {
-			valueCol = "-"
+		if err := f.WriteTSV(os.Stdout, *reps > 1); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 1
 		}
-		hasCI := *reps > 1
-		for _, r := range f.Rows {
-			if r.ThroughputCI95 > 0 || r.ResponseCI95 > 0 {
-				hasCI = true
-				break
-			}
-		}
-		if hasCI {
-			fmt.Printf("figure\tseries\t%s\tthroughput_kbps\tthroughput_ci95\treq_per_min\tmean_response_s\tresponse_ci95\t%s\n",
-				f.ParamName, valueCol)
-			for _, r := range f.Rows {
-				fmt.Printf("%s\t%s\t%g\t%.2f\t%.2f\t%.4f\t%.1f\t%.1f\t%.4f\n",
-					f.ID, r.Series, r.Param,
-					r.ThroughputKBps, r.ThroughputCI95, r.RequestsPerMinute,
-					r.MeanResponseSec, r.ResponseCI95, r.Value)
-			}
-		} else {
-			fmt.Printf("figure\tseries\t%s\tthroughput_kbps\treq_per_min\tmean_response_s\t%s\n",
-				f.ParamName, valueCol)
-			for _, r := range f.Rows {
-				fmt.Printf("%s\t%s\t%g\t%.2f\t%.4f\t%.1f\t%.4f\n",
-					f.ID, r.Series, r.Param,
-					r.ThroughputKBps, r.RequestsPerMinute, r.MeanResponseSec, r.Value)
-			}
-		}
-		fmt.Println()
 	}
 	return 0
 }

@@ -63,7 +63,7 @@ func run() int {
 	var (
 		alg         = flag.String("alg", string(tapejuke.DynamicMaxBandwidth), "scheduling algorithm (see -list)")
 		list        = flag.Bool("list", false, "list available algorithms and exit")
-		profile     = flag.String("profile", "exb8505xl", "drive profile: exb8505xl, fast, or dlt7000")
+		profile     = flag.String("profile", "exb8505xl", "drive profile: exb8505xl, fast, dlt7000, or lto9")
 		blockMB     = flag.Float64("block", 16, "transfer size in MB")
 		tapes       = flag.Int("tapes", 10, "tapes in the jukebox")
 		drives      = flag.Int("drives", 1, "drives sharing the tapes (multi-drive extension)")
@@ -75,6 +75,7 @@ func run() int {
 		nr          = flag.Int("nr", 0, "replicas of each hot block (NR)")
 		placement   = flag.String("placement", "horizontal", "hot layout: horizontal or vertical")
 		sp          = flag.Float64("sp", 0, "hot region start position in [0,1] (SP)")
+		rao         = flag.Bool("rao", false, "Recommended-Access-Order sweep reordering (serpentine profiles only)")
 		queue       = flag.Int("queue", 60, "closed-model queue length (0 with -interarrival)")
 		interarrive = flag.Float64("interarrival", 0, "open-model mean interarrival seconds (0 = closed)")
 		horizon     = flag.Float64("horizon", 2e6, "simulated seconds")
@@ -157,6 +158,7 @@ func run() int {
 		Replicas:            *nr,
 		Placement:           tapejuke.Placement(*placement),
 		StartPos:            *sp,
+		RAO:                 *rao,
 		Algorithm:           tapejuke.Algorithm(*alg),
 		QueueLength:         *queue,
 		MeanInterarrivalSec: *interarrive,

@@ -12,11 +12,18 @@ import (
 // stabilize. The paper runs 10,000,000 s per point; this figure documents
 // how much shorter horizons change the answers (very little beyond ~1M s),
 // which justifies this repository's faster defaults.
+//
+// Unlike the paper figures it forces at least 3 replications, so it keeps
+// its own grid rather than joining All's shared one (the shared grid runs
+// every figure at a uniform replication count).
 func Convergence(o Options) (*Figure, error) {
-	o = o.withDefaults()
 	if o.Replications < 3 {
 		o.Replications = 3
 	}
+	return runPlan(o, planConvergence)
+}
+
+func planConvergence(o Options) (plan, error) {
 	horizons := []float64{100_000, 300_000, 1_000_000, 3_000_000, 10_000_000}
 	var jobs []job
 	for _, alg := range []tapejuke.Algorithm{
@@ -34,14 +41,12 @@ func Convergence(o Options) (*Figure, error) {
 			jobs = append(jobs, job{series: string(alg), param: h, cfg: cfg})
 		}
 	}
-	rows, err := runAll(jobs, o.Workers, o.Replications)
-	if err != nil {
-		return nil, err
-	}
-	return &Figure{
-		ID:        "convergence",
-		Title:     fmt.Sprintf("Estimator convergence with the simulated horizon (%d replications)", o.Replications),
-		ParamName: "horizon_s",
-		Rows:      rows,
-	}, nil
+	return plan{jobs: jobs, finish: func(rows []Row) (*Figure, error) {
+		return &Figure{
+			ID:        "convergence",
+			Title:     fmt.Sprintf("Estimator convergence with the simulated horizon (%d replications)", o.Replications),
+			ParamName: "horizon_s",
+			Rows:      rows,
+		}, nil
+	}}, nil
 }

@@ -1,0 +1,191 @@
+package figures
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"tapejuke"
+	"tapejuke/internal/stats"
+)
+
+// job is one simulated point of a figure (before replication fan-out).
+type job struct {
+	series string
+	param  float64
+	cfg    tapejuke.Config
+}
+
+// plan is a figure broken into its simulation jobs plus a finishing step
+// that shapes the resulting rows (one per job, in job order) into the
+// figure. Analytic figures have no jobs. Plans exist so All can pour every
+// figure's jobs into one shared worker pool with no barrier between
+// figures: a slow straggler of one figure overlaps the next figure's work
+// instead of idling the pool.
+type plan struct {
+	jobs   []job
+	finish func([]Row) (*Figure, error)
+}
+
+// runPlan executes a single figure's plan on its own grid.
+func runPlan(o Options, pf func(Options) (plan, error)) (*Figure, error) {
+	o = o.withDefaults()
+	p, err := pf(o)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := runGrid(p.jobs, o.Workers, o.Replications)
+	if err != nil {
+		return nil, err
+	}
+	return p.finish(rows)
+}
+
+// runGrid executes every (job, replication) task on a pool of persistent
+// workers and reduces the results to one mean row per job.
+//
+// Determinism: each task writes into its own slot of the per-metric arrays
+// (disjoint writes, no shared accumulators, no locks), and the reduction
+// below runs sequentially in job-then-replication input order, so the
+// output -- including replication means and confidence intervals, which
+// are sensitive to floating-point summation order -- is byte-identical at
+// every worker count.
+//
+// Each worker owns one tapejuke.Runner for the lifetime of the grid, so
+// data layouts, cost tables, and simulator scratch are reused across every
+// task the worker claims rather than rebuilt per run.
+//
+// The first failure makes workers stop claiming tasks; already-claimed
+// tasks finish, and every recorded error is returned joined, in task
+// order, each carrying its series/param/replication context.
+func runGrid(jobs []job, workers, reps int) ([]Row, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	tasks := len(jobs) * reps
+	if workers > tasks {
+		workers = tasks
+	}
+	tps := make([]float64, tasks)
+	rpms := make([]float64, tasks)
+	resps := make([]float64, tasks)
+	errs := make([]error, tasks)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := tapejuke.NewRunner()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= tasks || failed.Load() {
+					return
+				}
+				i, rep := t/reps, t%reps
+				cfg := jobs[i].cfg
+				// Replication seeds are spaced 7919 (the 1000th prime)
+				// apart: far enough that the streams a run derives from
+				// its seed (workload at Seed, arrivals at Seed+1, writes
+				// at Seed+2, bursts at Seed+5) never collide across
+				// replications, and fixed so recorded figures stay
+				// reproducible. See DESIGN.md section 13.
+				cfg.Seed += int64(rep) * 7919
+				res, err := r.Run(cfg)
+				if err != nil {
+					errs[t] = fmt.Errorf("%s param %v rep %d: %w",
+						jobs[i].series, jobs[i].param, rep, err)
+					failed.Store(true)
+					return
+				}
+				tps[t] = res.ThroughputKBps
+				rpms[t] = res.RequestsPerMinute
+				resps[t] = res.MeanResponseSec
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		return nil, errors.Join(errs...)
+	}
+	rows := make([]Row, len(jobs))
+	for i := range jobs {
+		var tp, rpm, resp stats.Accumulator
+		for rep := 0; rep < reps; rep++ {
+			t := i*reps + rep
+			tp.Add(tps[t])
+			rpm.Add(rpms[t])
+			resp.Add(resps[t])
+		}
+		rows[i] = Row{
+			Series:            jobs[i].series,
+			Param:             jobs[i].param,
+			ThroughputKBps:    tp.Mean(),
+			RequestsPerMinute: rpm.Mean(),
+			MeanResponseSec:   resp.Mean(),
+		}
+		if reps > 1 {
+			n := math.Sqrt(float64(reps))
+			rows[i].ThroughputCI95 = 1.96 * tp.StdDev() / n
+			rows[i].ResponseCI95 = 1.96 * resp.StdDev() / n
+		}
+	}
+	return rows, nil
+}
+
+// WriteTSV writes the figure in cmd/figures' tab-separated format: a
+// commented "# id: title" line, a header, one line per row, and a trailing
+// blank line. The confidence-interval columns appear when any row carries
+// intervals or forceCI is set (cmd/figures forces them whenever -reps > 1
+// so the column set never depends on the data).
+func (f *Figure) WriteTSV(w io.Writer, forceCI bool) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	valueCol := f.ValueName
+	if valueCol == "" {
+		valueCol = "-"
+	}
+	hasCI := forceCI
+	for _, r := range f.Rows {
+		if r.ThroughputCI95 > 0 || r.ResponseCI95 > 0 {
+			hasCI = true
+			break
+		}
+	}
+	if hasCI {
+		if _, err := fmt.Fprintf(w, "figure\tseries\t%s\tthroughput_kbps\tthroughput_ci95\treq_per_min\tmean_response_s\tresponse_ci95\t%s\n",
+			f.ParamName, valueCol); err != nil {
+			return err
+		}
+		for _, r := range f.Rows {
+			if _, err := fmt.Fprintf(w, "%s\t%s\t%g\t%.2f\t%.2f\t%.4f\t%.1f\t%.1f\t%.4f\n",
+				f.ID, r.Series, r.Param,
+				r.ThroughputKBps, r.ThroughputCI95, r.RequestsPerMinute,
+				r.MeanResponseSec, r.ResponseCI95, r.Value); err != nil {
+				return err
+			}
+		}
+	} else {
+		if _, err := fmt.Fprintf(w, "figure\tseries\t%s\tthroughput_kbps\treq_per_min\tmean_response_s\t%s\n",
+			f.ParamName, valueCol); err != nil {
+			return err
+		}
+		for _, r := range f.Rows {
+			if _, err := fmt.Fprintf(w, "%s\t%s\t%g\t%.2f\t%.4f\t%.1f\t%.4f\n",
+				f.ID, r.Series, r.Param,
+				r.ThroughputKBps, r.RequestsPerMinute, r.MeanResponseSec, r.Value); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -10,49 +10,85 @@ import (
 // registered alongside the reproduction figures so cmd/figures can
 // regenerate every number in EXPERIMENTS.md.
 
+// serpentineSweep builds one series of queue-length jobs on the given
+// serpentine drive profile, with mut applied to each configuration.
+func serpentineSweep(o Options, profile, label string, mut func(*tapejuke.Config)) []job {
+	var jobs []job
+	for i := range o.QueueLengths {
+		cfg := base(o)
+		cfg.DriveProfile = profile
+		cfg.RAO = false
+		mut(&cfg)
+		p := applyIntensity(&cfg, o, i)
+		jobs = append(jobs, job{series: label, param: p, cfg: cfg})
+	}
+	return jobs
+}
+
 // Serpentine compares placements and schedulers on the synthetic DLT-class
 // serpentine drive -- the technology the paper excludes. Two stories in one
 // figure: hot-data placement barely matters on serpentine geometry (series
 // "dyn-SP0" vs "dyn-SP1"), while replication plus the envelope scheduler
 // still wins ("env-NR9" vs both).
-func Serpentine(o Options) (*Figure, error) {
-	o = o.withDefaults()
-	mk := func(label string, mut func(*tapejuke.Config)) []job {
-		var jobs []job
-		for i := range o.QueueLengths {
-			cfg := base(o)
-			cfg.DriveProfile = "dlt7000"
-			mut(&cfg)
-			p := applyIntensity(&cfg, o, i)
-			jobs = append(jobs, job{series: label, param: p, cfg: cfg})
-		}
-		return jobs
-	}
+func Serpentine(o Options) (*Figure, error) { return runPlan(o, planSerpentine) }
+
+func planSerpentine(o Options) (plan, error) {
 	var jobs []job
-	jobs = append(jobs, mk("dyn-SP0", func(c *tapejuke.Config) { c.StartPos = 0 })...)
-	jobs = append(jobs, mk("dyn-SP1", func(c *tapejuke.Config) { c.StartPos = 1 })...)
-	jobs = append(jobs, mk("env-NR9", func(c *tapejuke.Config) {
+	jobs = append(jobs, serpentineSweep(o, "dlt7000", "dyn-SP0", func(c *tapejuke.Config) { c.StartPos = 0 })...)
+	jobs = append(jobs, serpentineSweep(o, "dlt7000", "dyn-SP1", func(c *tapejuke.Config) { c.StartPos = 1 })...)
+	jobs = append(jobs, serpentineSweep(o, "dlt7000", "env-NR9", func(c *tapejuke.Config) {
 		c.Algorithm = tapejuke.EnvelopeMaxBandwidth
 		c.Placement = tapejuke.Vertical
 		c.Replicas = 9
 		c.StartPos = 1
 	})...)
-	rows, err := runAll(jobs, o.Workers, o.Replications)
-	if err != nil {
-		return nil, err
+	return plan{jobs: jobs, finish: func(rows []Row) (*Figure, error) {
+		return &Figure{
+			ID:        "serpentine",
+			Title:     "Extension: placement and replication on a serpentine (DLT-class) drive",
+			ParamName: intensityName(o),
+			Rows:      rows,
+		}, nil
+	}}, nil
+}
+
+// LTO9 runs the same study on the LTO-9-class profile (many more track
+// passes, far higher streaming rate) and adds a third story: the effect of
+// Recommended-Access-Order sweep reordering on the envelope scheduler
+// ("env-NR9-rao" vs "env-NR9"). RAO re-sorts each mounted-tape sweep by
+// serpentine service order starting from the current head, the reordering
+// modern LTO drives perform in firmware.
+func LTO9(o Options) (*Figure, error) { return runPlan(o, planLTO9) }
+
+func planLTO9(o Options) (plan, error) {
+	env := func(c *tapejuke.Config) {
+		c.Algorithm = tapejuke.EnvelopeMaxBandwidth
+		c.Placement = tapejuke.Vertical
+		c.Replicas = 9
+		c.StartPos = 1
 	}
-	return &Figure{
-		ID:        "serpentine",
-		Title:     "Extension: placement and replication on a serpentine (DLT-class) drive",
-		ParamName: intensityName(o),
-		Rows:      rows,
-	}, nil
+	var jobs []job
+	jobs = append(jobs, serpentineSweep(o, "lto9", "dyn", func(c *tapejuke.Config) {})...)
+	jobs = append(jobs, serpentineSweep(o, "lto9", "env-NR9", env)...)
+	jobs = append(jobs, serpentineSweep(o, "lto9", "env-NR9-rao", func(c *tapejuke.Config) {
+		env(c)
+		c.RAO = true
+	})...)
+	return plan{jobs: jobs, finish: func(rows []Row) (*Figure, error) {
+		return &Figure{
+			ID:        "lto9",
+			Title:     "Extension: scheduling and RAO reordering on an LTO-9-class serpentine drive",
+			ParamName: intensityName(o),
+			Rows:      rows,
+		}, nil
+	}}, nil
 }
 
 // MultiDrive sweeps the drive count of the jukebox (the paper's future
 // work) across workload intensities.
-func MultiDrive(o Options) (*Figure, error) {
-	o = o.withDefaults()
+func MultiDrive(o Options) (*Figure, error) { return runPlan(o, planMultiDrive) }
+
+func planMultiDrive(o Options) (plan, error) {
 	var jobs []job
 	for _, drives := range []int{1, 2, 3, 4} {
 		for i := range o.QueueLengths {
@@ -62,23 +98,22 @@ func MultiDrive(o Options) (*Figure, error) {
 			jobs = append(jobs, job{series: fmt.Sprintf("drives-%d", drives), param: p, cfg: cfg})
 		}
 	}
-	rows, err := runAll(jobs, o.Workers, o.Replications)
-	if err != nil {
-		return nil, err
-	}
-	return &Figure{
-		ID:        "multidrive",
-		Title:     "Extension: multi-drive jukebox scaling (shared tapes, shared pending list)",
-		ParamName: intensityName(o),
-		Rows:      rows,
-	}, nil
+	return plan{jobs: jobs, finish: func(rows []Row) (*Figure, error) {
+		return &Figure{
+			ID:        "multidrive",
+			Title:     "Extension: multi-drive jukebox scaling (shared tapes, shared pending list)",
+			ParamName: intensityName(o),
+			Rows:      rows,
+		}, nil
+	}}, nil
 }
 
 // GradualFill regenerates the Section 4.8 lifecycle table: the recommended
 // layout versus the naive one at each occupancy, under the envelope
 // scheduler. Row.Value carries the plan's replica count.
-func GradualFill(o Options) (*Figure, error) {
-	o = o.withDefaults()
+func GradualFill(o Options) (*Figure, error) { return runPlan(o, planGradualFill) }
+
+func planGradualFill(o Options) (plan, error) {
 	capacityMB := 10 * 7168.0
 	var jobs []job
 	for _, fill := range []float64{0.2, 0.4, 0.6, 0.8, 0.9, 0.97, 1.0} {
@@ -90,32 +125,32 @@ func GradualFill(o Options) (*Figure, error) {
 		}
 		plannedCfg, _, err := tapejuke.PlanGradualFill(planned)
 		if err != nil {
-			return nil, err
+			return plan{}, err
 		}
 		jobs = append(jobs, job{series: "recommended", param: fill, cfg: plannedCfg})
 
 		naive := planned.WithDefaults()
 		jobs = append(jobs, job{series: "naive", param: fill, cfg: naive})
 	}
-	rows, err := runAll(jobs, o.Workers, o.Replications)
-	if err != nil {
-		return nil, err
-	}
-	// Attach the replica counts to the recommended rows.
-	for i, r := range rows {
-		if r.Series != "recommended" {
-			continue
+	return plan{jobs: jobs, finish: func(rows []Row) (*Figure, error) {
+		// Attach the replica counts to the recommended rows.
+		out := make([]Row, len(rows))
+		copy(out, rows)
+		for i, r := range out {
+			if r.Series != "recommended" {
+				continue
+			}
+			cfg := tapejuke.Config{DataMB: r.Param * capacityMB}
+			if _, gfPlan, err := tapejuke.PlanGradualFill(cfg); err == nil {
+				out[i].Value = float64(gfPlan.Replicas)
+			}
 		}
-		cfg := tapejuke.Config{DataMB: r.Param * capacityMB}
-		if _, plan, err := tapejuke.PlanGradualFill(cfg); err == nil {
-			rows[i].Value = float64(plan.Replicas)
-		}
-	}
-	return &Figure{
-		ID:        "gradualfill",
-		Title:     "Extension: the Section 4.8 gradual-fill procedure vs. a naive layout",
-		ParamName: "fill_fraction",
-		ValueName: "plan_replicas",
-		Rows:      rows,
-	}, nil
+		return &Figure{
+			ID:        "gradualfill",
+			Title:     "Extension: the Section 4.8 gradual-fill procedure vs. a naive layout",
+			ParamName: "fill_fraction",
+			ValueName: "plan_replicas",
+			Rows:      out,
+		}, nil
+	}}, nil
 }

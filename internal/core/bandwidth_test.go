@@ -1,0 +1,45 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property: bandwidthBits, the fused bitmap walk used by the max-bandwidth
+// tape selection, is bit-identical to the two-step reference computation
+// (sweepOrderBits into an explicit list, then EffectiveBandwidth over it)
+// for random position multisets, heads, and switch situations, with and
+// without the dense cost table.
+func TestBandwidthBitsMatchesReference(t *testing.T) {
+	for _, table := range []bool{false, true} {
+		cm := costs()
+		if table {
+			if !cm.EnableTable(448) {
+				t.Fatal("expected the EXB profile to be tabulable")
+			}
+		}
+		rng := rand.New(rand.NewSource(11))
+		var ps, ref posSorter
+		for trial := 0; trial < 300; trial++ {
+			n := rng.Intn(40) // 0..39 positions, duplicates likely
+			positions := make([]int, n)
+			for i := range positions {
+				positions[i] = rng.Intn(448)
+			}
+			mounted := rng.Intn(10)
+			tape := rng.Intn(10)
+			head := rng.Intn(449)
+			startHead := head
+			if tape != mounted {
+				startHead = 0
+			}
+			order := sweepOrderBits(nil, positions, startHead, &ref)
+			want := cm.EffectiveBandwidth(mounted, head, tape, startHead, order)
+			got := bandwidthBits(cm, mounted, head, tape, startHead, positions, &ps)
+			if got != want {
+				t.Fatalf("table=%v trial %d: bandwidthBits = %v, reference = %v (positions %v, mounted %d, tape %d, head %d)",
+					table, trial, got, want, positions, mounted, tape, head)
+			}
+		}
+	}
+}

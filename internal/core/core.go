@@ -65,13 +65,13 @@ func (v Variant) String() string {
 type Envelope struct {
 	variant Variant
 	env     []int // upper envelope from the last major reschedule, per tape
+	env0    []int // retired env backing stashed by ResetRun for reuse
 
 	b *builder // reusable envelope construction state
 
 	// Reusable selection/extraction scratch.
 	sets     [][]*sched.Request // selectTape: per-tape in-envelope requests
-	order    []int              // selectTape: sweep-ordered positions
-	posBits  posSorter          // selectTape: position counting-sort scratch
+	posBits  posSorter          // selectTape: bandwidthBits bitmap scratch
 	oldestOn []bool             // selectTape: tapes covering the oldest request
 	reqsBuf  []*sched.Request   // Reschedule: extracted requests
 	posSets  [][]int            // selectTape: positions of sets' requests, same shape
@@ -83,6 +83,18 @@ func NewEnvelope(v Variant) *Envelope { return &Envelope{variant: v} }
 
 // Name returns e.g. "envelope-max-bandwidth".
 func (e *Envelope) Name() string { return "envelope-" + e.variant.String() }
+
+// ResetRun implements sched.RunResetter: it restores the just-constructed
+// observable state (no envelope yet -- OnArrival and OnEvict key off
+// e.env == nil) while parking the envelope's backing array and keeping the
+// builder and selection scratch, so a reused scheduler starts the next run
+// identical to a fresh one but without re-growing ~35 KB of buffers.
+func (e *Envelope) ResetRun() {
+	if e.env != nil {
+		e.env0 = e.env[:0]
+	}
+	e.env = nil
+}
 
 // Variant returns the tape-selection variant.
 func (e *Envelope) Variant() Variant { return e.variant }
@@ -106,7 +118,12 @@ func (e *Envelope) Reschedule(st *sched.State) (int, *sched.Sweep, bool) {
 	e.b.reset(st)
 	e.b.build()
 	// Copy the envelope out of the builder: e.env must survive (OnArrival
-	// mutates it) while the builder is reset by the next reschedule.
+	// mutates it) while the builder is reset by the next reschedule. After a
+	// ResetRun the backing array is parked in env0; reclaim it here so
+	// reusing the scheduler across runs stays allocation-free.
+	if e.env == nil {
+		e.env, e.env0 = e.env0, nil
+	}
 	e.env = append(e.env[:0], e.b.env...)
 	env := e.env
 
@@ -307,8 +324,7 @@ func (e *Envelope) selectTape(st *sched.State, env []int) (int, bool) {
 		var score float64
 		if e.variant == MaxBandwidth {
 			startHead := st.StartHead(t)
-			e.order = sweepOrderBits(e.order, e.posSets[t], startHead, &e.posBits)
-			score = st.Costs.EffectiveBandwidth(st.Mounted, st.Head, t, startHead, e.order)
+			score = bandwidthBits(st.Costs, st.Mounted, st.Head, t, startHead, e.posSets[t], &e.posBits)
 		} else {
 			score = float64(len(sets[t]))
 		}

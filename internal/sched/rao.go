@@ -1,0 +1,56 @@
+package sched
+
+import (
+	"math"
+
+	"tapejuke/internal/tapemodel"
+)
+
+// ReorderRAO replaces the sweep's two-phase elevator order with a greedy
+// nearest-first schedule in the spirit of the LTO "Recommended Access
+// Order" drive feature: starting from the head position the sweep executes
+// from, it repeatedly serves the request whose copy has the lowest locate
+// time from the current head.
+//
+// The paper's sweeps assume helical-scan geometry, where physical distance
+// is monotone in logical distance and a single elevator pass is optimal
+// per direction. On serpentine geometry logically distant blocks can be
+// physically adjacent (same lengthwise position on a neighboring track),
+// so the elevator order can zig-zag the physical head; asking the drive
+// for its recommended order is how modern serpentine deployments schedule
+// batches. Greedy nearest-first is the standard host-side approximation.
+//
+// Ties on locate time keep the earlier request in elevator order, so the
+// result is deterministic. The reordered sweep is frozen, as if the batch
+// had been handed to the drive: incremental insertion is declined (Insert
+// returns false) and mid-sweep arrivals wait in the pending list for the
+// next reschedule.
+func (s *Sweep) ReorderRAO(p tapemodel.Positioner, blockMB float64, head int) {
+	n := s.Len()
+	if n == 0 {
+		return
+	}
+	pool := append(s.tmp[:0], s.Forward...)
+	pool = append(pool, s.Reverse...)
+	s.tmp = pool
+	ord := s.ord0[:0]
+	cur := float64(head) * blockMB
+	for len(pool) > 0 {
+		best, bestSec := 0, math.Inf(1)
+		for i, r := range pool {
+			sec, _ := p.Locate(cur, float64(r.Target.Pos)*blockMB)
+			if sec < bestSec {
+				best, bestSec = i, sec
+			}
+		}
+		r := pool[best]
+		copy(pool[best:], pool[best+1:])
+		pool[len(pool)-1] = nil
+		pool = pool[:len(pool)-1]
+		ord = append(ord, r)
+		cur = float64(r.Target.Pos+1) * blockMB // head rests after the read block
+	}
+	s.tmp = s.tmp[:0]
+	s.ord0, s.ord = ord, ord
+	s.Forward, s.Reverse = nil, nil
+}

@@ -71,7 +71,11 @@ func (sh *Shared) ReleaseSweep(s *Sweep) {
 	if s == nil {
 		return
 	}
-	s.Forward, s.Reverse = nil, nil
+	s.Forward, s.Reverse, s.ord = nil, nil, nil
+	ord := s.ord0[:cap(s.ord0)]
+	for i := range ord {
+		ord[i] = nil
+	}
 	fwd := s.fwd0[:cap(s.fwd0)]
 	for i := range fwd {
 		fwd[i] = nil
@@ -85,6 +89,21 @@ func (sh *Shared) ReleaseSweep(s *Sweep) {
 		tmp[i] = nil
 	}
 	sh.sweepFree = append(sh.sweepFree, s)
+}
+
+// Reset prepares the Shared for a fresh run over a (possibly different)
+// layout and cost model, dropping every reference to the previous run's
+// requests while keeping the allocated storage: the pending list's backing
+// array and the drained-sweep pool survive, so a session that reuses one
+// Shared across runs pays no per-run sweep or pending allocation.
+func (sh *Shared) Reset(l *layout.Layout, costs *CostModel) {
+	for i := range sh.Pending {
+		sh.Pending[i] = nil
+	}
+	sh.Pending = sh.Pending[:0]
+	sh.Layout, sh.Costs = l, costs
+	sh.Busy, sh.Down, sh.DeadCopy = nil, nil, nil
+	sh.Now, sh.AgeWeight = 0, 0
 }
 
 // slackFloor bounds deadline slack away from zero so the urgency of a
@@ -208,51 +227,55 @@ type Scheduler interface {
 	OnArrival(st *State, r *Request) bool
 }
 
+// RunResetter is implemented by schedulers that carry state across
+// reschedules within one run and can restore their just-constructed
+// observable state while keeping allocated scratch. A session runner may
+// reuse a scheduler across runs only if it implements RunResetter (and
+// calls ResetRun between runs) or is known to be stateless, like FIFO and
+// the static/dynamic policies; anything else must be built fresh.
+type RunResetter interface {
+	ResetRun()
+}
+
 // RemovePending deletes the given requests (matched by pointer identity)
 // from the pending list, preserving arrival order of the remainder.
 //
 // Schedulers extract requests by filtering the pending list, so `taken` is
-// almost always an ordered subsequence of Pending; that case is handled
-// in place with no allocation. Arbitrary orders fall back to a set.
+// almost always an ordered subsequence of Pending; that case is one
+// in-place filtering pass with no allocation. The pass is optimistic: it
+// removes taken[0..k) as it matches them in order, so if some of taken
+// turns out to be out of order (k < len(taken) at the end), the matched
+// prefix is already correctly gone and only the remainder taken[k:] needs
+// a second, set-based pass.
 func (sh *Shared) RemovePending(taken []*Request) {
 	if len(taken) == 0 {
 		return
 	}
+	kept := sh.Pending[:0]
 	k := 0
 	for _, r := range sh.Pending {
 		if k < len(taken) && r == taken[k] {
 			k++
+			continue
 		}
+		kept = append(kept, r)
 	}
-	if k == len(taken) {
-		// Ordered subsequence: single in-place filtering pass.
-		kept := sh.Pending[:0]
-		k = 0
-		for _, r := range sh.Pending {
-			if k < len(taken) && r == taken[k] {
-				k++
-				continue
+	if rest := taken[k:]; len(rest) > 0 {
+		// Out-of-order remainder: remove the stragglers by set.
+		set := make(map[*Request]bool, len(rest))
+		for _, r := range rest {
+			set[r] = true
+		}
+		kept2 := kept[:0]
+		for _, r := range kept {
+			if !set[r] {
+				kept2 = append(kept2, r)
 			}
-			kept = append(kept, r)
 		}
-		// Zero the tail so dropped requests do not linger in the backing
-		// array.
-		for i := len(kept); i < len(sh.Pending); i++ {
-			sh.Pending[i] = nil
-		}
-		sh.Pending = kept
-		return
+		kept = kept2
 	}
-	set := make(map[*Request]bool, len(taken))
-	for _, r := range taken {
-		set[r] = true
-	}
-	kept := sh.Pending[:0]
-	for _, r := range sh.Pending {
-		if !set[r] {
-			kept = append(kept, r)
-		}
-	}
+	// Zero the tail so dropped requests do not linger in the backing
+	// array.
 	for i := len(kept); i < len(sh.Pending); i++ {
 		sh.Pending[i] = nil
 	}

@@ -10,6 +10,10 @@ import (
 // reverse phase (descending positions, reverse locates only). Section 2.2.
 //
 // FIFO schedules are represented as degenerate sweeps holding one request.
+//
+// A sweep can alternatively carry an explicit execution order (set by
+// ReorderRAO) that overrides the two-phase elevator order; see that method
+// for the semantics.
 type Sweep struct {
 	Forward []*Request // ascending Target.Pos
 	Reverse []*Request // descending Target.Pos
@@ -18,6 +22,11 @@ type Sweep struct {
 	// (Pop advances Forward/Reverse by re-slicing), so a drained sweep
 	// returned to the Shared pool can rebuild in place without reallocating.
 	fwd0, rev0 []*Request
+
+	// ord, when it has remaining entries, is an explicit execution order
+	// replacing the two phases (which are then empty). ord0 remembers its
+	// backing array for pooling, like fwd0/rev0.
+	ord, ord0 []*Request
 
 	// sortByPos scratch.
 	keys []uint64
@@ -38,6 +47,7 @@ func NewSweep(reqs []*Request, head int) *Sweep {
 // init (re)builds the sweep contents, reusing any backing arrays the sweep
 // already owns.
 func (s *Sweep) init(reqs []*Request, head int) {
+	s.ord = nil
 	fwd, rev := s.fwd0[:0], s.rev0[:0]
 	for _, r := range reqs {
 		if r.Target.Pos >= head {
@@ -88,13 +98,16 @@ func (s *Sweep) sortByPos(phase []*Request, desc bool) {
 }
 
 // Len returns the number of requests remaining in the sweep.
-func (s *Sweep) Len() int { return len(s.Forward) + len(s.Reverse) }
+func (s *Sweep) Len() int { return len(s.ord) + len(s.Forward) + len(s.Reverse) }
 
 // Empty reports whether the sweep has been fully executed.
 func (s *Sweep) Empty() bool { return s.Len() == 0 }
 
 // Peek returns the next request to execute without removing it, or nil.
 func (s *Sweep) Peek() *Request {
+	if len(s.ord) > 0 {
+		return s.ord[0]
+	}
 	if len(s.Forward) > 0 {
 		return s.Forward[0]
 	}
@@ -106,6 +119,11 @@ func (s *Sweep) Peek() *Request {
 
 // Pop removes and returns the next request to execute, or nil.
 func (s *Sweep) Pop() *Request {
+	if len(s.ord) > 0 {
+		r := s.ord[0]
+		s.ord = s.ord[1:]
+		return r
+	}
 	if len(s.Forward) > 0 {
 		r := s.Forward[0]
 		s.Forward = s.Forward[1:]
@@ -120,9 +138,13 @@ func (s *Sweep) Pop() *Request {
 }
 
 // Positions returns the remaining execution order as a position list
-// (forward phase then reverse phase). Used for cost evaluation.
+// (explicit order when set, else forward phase then reverse phase). Used
+// for cost evaluation.
 func (s *Sweep) Positions() []int {
 	out := make([]int, 0, s.Len())
+	for _, r := range s.ord {
+		out = append(out, r.Target.Pos)
+	}
 	for _, r := range s.Forward {
 		out = append(out, r.Target.Pos)
 	}
@@ -135,6 +157,7 @@ func (s *Sweep) Positions() []int {
 // Requests returns the remaining requests in execution order.
 func (s *Sweep) Requests() []*Request {
 	out := make([]*Request, 0, s.Len())
+	out = append(out, s.ord...)
 	out = append(out, s.Forward...)
 	out = append(out, s.Reverse...)
 	return out
@@ -153,6 +176,11 @@ func (s *Sweep) Requests() []*Request {
 //     or below the head can still be served in this sweep.
 func (s *Sweep) Insert(r *Request, head int) bool {
 	if s.Empty() {
+		return false
+	}
+	if len(s.ord) > 0 {
+		// The sweep carries a committed explicit (RAO) order: the drive has
+		// already handed the schedule down, so arrivals wait in pending.
 		return false
 	}
 	if len(s.Forward) > 0 {
@@ -194,6 +222,12 @@ func (s *Sweep) insertReverse(r *Request) {
 // The engine uses it to cancel deadline-expired requests out of in-flight
 // sweeps without rebuilding the schedule.
 func (s *Sweep) Remove(r *Request) bool {
+	for i, q := range s.ord {
+		if q == r {
+			s.ord = append(s.ord[:i], s.ord[i+1:]...)
+			return true
+		}
+	}
 	for i, q := range s.Forward {
 		if q == r {
 			s.Forward = append(s.Forward[:i], s.Forward[i+1:]...)
@@ -214,7 +248,12 @@ func (s *Sweep) Remove(r *Request) bool {
 // whether an insertion extends the traversed prefix.
 func (s *Sweep) MaxPos() int {
 	max := -1
-	if n := len(s.Forward); n > 0 {
+	for _, r := range s.ord {
+		if r.Target.Pos > max {
+			max = r.Target.Pos
+		}
+	}
+	if n := len(s.Forward); n > 0 && s.Forward[n-1].Target.Pos > max {
 		max = s.Forward[n-1].Target.Pos
 	}
 	if len(s.Reverse) > 0 && s.Reverse[0].Target.Pos > max {

@@ -82,6 +82,16 @@ type Config struct {
 	// post-warmup completions; benchmarks use it to bound work.
 	MaxCompletions int64
 
+	// RAO applies Recommended-Access-Order-style reordering to every sweep
+	// before execution: the elevator order is replaced by a greedy
+	// nearest-first physical order (sched.Sweep.ReorderRAO). Only
+	// meaningful -- and only accepted -- on serpentine drive profiles,
+	// where physical adjacency diverges from logical adjacency. The
+	// schedulers' cost evaluation still scores elevator sweeps (the paper's
+	// algorithms are unmodified); reordering happens at issue time, like a
+	// drive-level RAO command.
+	RAO bool
+
 	// Seed makes runs deterministic.
 	Seed int64
 
@@ -292,6 +302,11 @@ func (c *Config) Validate() error {
 	if c.WriteReserveMB < 0 || (c.WriteReserveMB > 0 && c.WriteReserveMB >= c.TapeCapMB) {
 		return fmt.Errorf("sim: WriteReserveMB %v must leave room for data on a %v MB tape",
 			c.WriteReserveMB, c.TapeCapMB)
+	}
+	if c.RAO {
+		if _, ok := c.Profile.(*tapemodel.Serpentine); !ok {
+			return errors.New("sim: RAO reordering requires a serpentine drive profile")
+		}
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("sim: %w", err)

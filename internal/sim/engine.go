@@ -12,12 +12,25 @@ import (
 
 // Run executes one simulation and returns its metrics.
 func Run(cfg Config) (*Result, error) {
-	e, err := newEngine(cfg)
+	e, err := newEngine(cfg, nil)
 	if err != nil {
 		return nil, err
 	}
 	return e.run()
 }
+
+// newCostModel builds a cost model with its dense block-grid table enabled.
+// The table devirtualizes the cost hot path and is bit-exact, so results
+// are identical whether or not it builds (it declines serpentine profiles
+// and inexact grids).
+func newCostModel(prof tapemodel.Positioner, blockMB float64, maxBlocks int) *sched.CostModel {
+	c := &sched.CostModel{Prof: prof, BlockMB: blockMB}
+	c.EnableTable(maxBlocks)
+	return c
+}
+
+// reservoirK is the percentile reservoir's sample capacity.
+const reservoirK = 4096
 
 // engine is the state of one in-progress simulation: the shared scheduling
 // state, one drive record per drive, the workload streams, and the metric
@@ -73,7 +86,10 @@ type engine struct {
 	ovl    *overloadState // overload-robustness extension, nil when disabled
 }
 
-func newEngine(cfg Config) (*engine, error) {
+// newEngine assembles one run's state. sess, when non-nil, supplies cached
+// layouts/cost tables and recycled scratch (see Session); nil preserves the
+// build-everything-fresh path of the package-level Run.
+func newEngine(cfg Config, sess *Session) (*engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -94,7 +110,7 @@ func newEngine(cfg Config) (*engine, error) {
 		}
 	}
 	capBlocks := int(dataCapMB / cfg.BlockMB)
-	lay, err := layout.Build(layout.Config{
+	layCfg := layout.Config{
 		Tapes:         cfg.Tapes,
 		TapeCapBlocks: capBlocks,
 		HotPercent:    cfg.HotPercent,
@@ -103,19 +119,26 @@ func newEngine(cfg Config) (*engine, error) {
 		StartPos:      cfg.StartPos,
 		DataBlocks:    cfg.DataBlocks,
 		PackAfterData: cfg.PackAfterData,
-	})
+	}
+	var lay *layout.Layout
+	var err error
+	if sess != nil {
+		lay, err = sess.cachedLayout(layCfg)
+	} else {
+		lay, err = layout.Build(layCfg)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	var gen workload.Source
 	if cfg.ZipfS > 0 {
-		zg, err := workload.NewZipfGenerator(lay, cfg.ZipfS, cfg.Seed)
+		zg, err := workload.NewZipfGeneratorRand(lay, cfg.ZipfS, sess.genRng(cfg.Seed))
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 		gen = zg
 	} else {
-		hg, err := workload.NewGenerator(lay, cfg.ReadHotPercent, cfg.Seed)
+		hg, err := workload.NewGeneratorRand(lay, cfg.ReadHotPercent, sess.genRng(cfg.Seed))
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
@@ -124,7 +147,7 @@ func newEngine(cfg Config) (*engine, error) {
 		}
 		gen = hg
 	}
-	arr, err := newArrivals(&cfg)
+	arr, err := newArrivals(&cfg, sess)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
@@ -132,30 +155,64 @@ func newEngine(cfg Config) (*engine, error) {
 	if nd < 1 {
 		nd = 1
 	}
-	sh := &sched.Shared{
-		Layout: lay,
-		Costs:  &sched.CostModel{Prof: cfg.Profile, BlockMB: cfg.BlockMB},
+	// The cost table (enabled inside newCostModel/cachedCosts) covers the
+	// whole tape: data region plus write reserve.
+	tableBlocks := int(cfg.TapeCapMB / cfg.BlockMB)
+	var costs *sched.CostModel
+	var sh *sched.Shared
+	if sess != nil {
+		costs = sess.cachedCosts(cfg.Profile, cfg.BlockMB, tableBlocks)
+		if sh = sess.sh; sh != nil {
+			sh.Reset(lay, costs)
+		}
+	} else {
+		costs = newCostModel(cfg.Profile, cfg.BlockMB, tableBlocks)
 	}
-	// Devirtualize the cost hot path: precompute the dense block-grid cost
-	// table covering the whole tape (data region plus write reserve). The
-	// table is bit-exact, so results are identical whether or not it builds
-	// (it declines serpentine profiles and inexact grids).
-	sh.Costs.EnableTable(int(cfg.TapeCapMB / cfg.BlockMB))
+	if sh == nil {
+		sh = &sched.Shared{Layout: lay, Costs: costs}
+	}
 	if nd > 1 {
 		// The busy vector exists only with competing drives; the single-drive
 		// fast path keeps Available to a nil check.
 		sh.Busy = make([]bool, cfg.Tapes)
 	}
 	e := &engine{
-		cfg:          cfg,
-		prof:         cfg.Profile,
-		sh:           sh,
-		drives:       make([]drive, nd),
-		gen:          gen,
-		arr:          arr,
-		warmupEnd:    cfg.Horizon * cfg.WarmupFrac,
-		respSample:   stats.NewReservoir(4096),
-		readsPerTape: make([]int64, cfg.Tapes),
+		cfg:       cfg,
+		prof:      cfg.Profile,
+		sh:        sh,
+		gen:       gen,
+		arr:       arr,
+		warmupEnd: cfg.Horizon * cfg.WarmupFrac,
+	}
+	if sess != nil {
+		// Adopt the session's recycled scratch: the request free list, the
+		// reservoir with its sample buffers, the per-tape counters, the
+		// drive records, and the event calendar's storage.
+		e.reqFree, sess.reqFree = sess.reqFree, nil
+		if r := sess.respSample; r != nil && r.K == reservoirK {
+			r.Reset()
+			e.respSample = r
+		}
+		if rt := sess.readsPerTape; cap(rt) >= cfg.Tapes {
+			rt = rt[:cfg.Tapes]
+			for i := range rt {
+				rt[i] = 0
+			}
+			e.readsPerTape = rt
+		}
+		if cap(sess.drives) >= nd {
+			e.drives = sess.drives[:nd]
+		}
+		e.evq = sess.evq[:0]
+	}
+	if e.respSample == nil {
+		e.respSample = stats.NewReservoir(reservoirK)
+	}
+	if e.readsPerTape == nil {
+		e.readsPerTape = make([]int64, cfg.Tapes)
+	}
+	if e.drives == nil {
+		e.drives = make([]drive, nd)
 	}
 	e.intn = e.gen.Rand().Int63n
 	for i := range e.drives {

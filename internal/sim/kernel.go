@@ -260,6 +260,13 @@ func (e *engine) issue(d int) error {
 		// case cannot unblock itself: the idle branch reports it.
 		return nil
 	}
+	if e.cfg.RAO {
+		// Serpentine drives execute the sweep in Recommended Access Order:
+		// greedy nearest-first physical order from the head the schedule
+		// starts at (0 after a switch). Scheduling costs were evaluated on
+		// the elevator order; the reorder is a drive-level service detail.
+		sweep.ReorderRAO(e.prof, e.cfg.BlockMB, st.StartHead(tape))
+	}
 	if e.sh.Busy != nil && e.sh.Busy[tape] && tape != st.Mounted {
 		return fmt.Errorf("sim: scheduler %s selected busy tape %d", dr.schd.Name(), tape)
 	}

@@ -126,8 +126,9 @@ func (e *engine) initOverload() error {
 	return nil
 }
 
-// newArrivals builds the arrival process, bursty when configured.
-func newArrivals(cfg *Config) (workload.Arrivals, error) {
+// newArrivals builds the arrival process, bursty when configured. A
+// non-nil session donates its recycled Poisson stream.
+func newArrivals(cfg *Config, sess *Session) (workload.Arrivals, error) {
 	b := cfg.Burst
 	if cfg.QueueLength > 0 {
 		if b.FlashCount > 0 {
@@ -147,7 +148,7 @@ func newArrivals(cfg *Config) (workload.Arrivals, error) {
 		return workload.NewBurstArrivals(cfg.MeanInterarrival, b.Factor, b.OnFrac,
 			b.Period, b.FlashAt, b.FlashLen, seed)
 	}
-	return workload.NewPoissonArrivals(cfg.MeanInterarrival, cfg.Seed+1)
+	return workload.NewPoissonArrivalsRand(cfg.MeanInterarrival, sess.arrRng(cfg.Seed+1))
 }
 
 // assignDeadline draws a TTL for a freshly minted request and places it on

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math/rand"
+
+	"tapejuke/internal/layout"
+	"tapejuke/internal/sched"
+	"tapejuke/internal/stats"
+	"tapejuke/internal/tapemodel"
+)
+
+// Session owns simulation state that is expensive to rebuild and safe to
+// carry across runs: the immutable data layout and dense cost table (cached
+// by configuration key, so replications and parameter sweeps that share
+// them stop re-paying construction), and the per-run scratch -- the shared
+// scheduling state with its sweep pool, the request free list, the drive
+// records, the percentile reservoir, and the event-calendar storage --
+// which is reset rather than reallocated. A Session is not safe for
+// concurrent use: create one per worker goroutine.
+//
+// Session.Run is result-identical to the package-level Run for every
+// configuration; the session tests pin this.
+type Session struct {
+	layKey  layout.Config
+	lay     *layout.Layout
+	costKey costKey
+	costs   *sched.CostModel
+
+	sh           *sched.Shared
+	drives       []drive
+	reqFree      []*sched.Request
+	respSample   *stats.Reservoir
+	readsPerTape []int64
+	evq          eventQueue
+
+	genRand *rand.Rand // workload generator stream, reseeded per run
+	arrRand *rand.Rand // Poisson arrival stream, reseeded per run
+}
+
+// costKey identifies a cached cost model. The profile is compared by
+// interface identity, which is why Runner pins one Positioner instance per
+// profile name; a fresh instance per run would never hit.
+type costKey struct {
+	prof      tapemodel.Positioner
+	blockMB   float64
+	maxBlocks int
+}
+
+// NewSession creates an empty session.
+func NewSession() *Session { return &Session{} }
+
+// Run executes one simulation like the package-level Run, reusing the
+// session's caches and scratch.
+func (s *Session) Run(cfg Config) (*Result, error) {
+	e, err := newEngine(cfg, s)
+	if err != nil {
+		return nil, err
+	}
+	res, rerr := e.run()
+	s.reclaim(e)
+	return res, rerr
+}
+
+// cachedLayout returns the layout for the given configuration, building and
+// caching it on a key change. layout.Layout is immutable after Build (the
+// fault and write extensions keep their masks and delta logs outside it),
+// so sharing one instance across runs is safe.
+func (s *Session) cachedLayout(key layout.Config) (*layout.Layout, error) {
+	if s.lay != nil && s.layKey == key {
+		return s.lay, nil
+	}
+	lay, err := layout.Build(key)
+	if err != nil {
+		return nil, err
+	}
+	s.lay, s.layKey = lay, key
+	return lay, nil
+}
+
+// cachedCosts returns a cost model with its dense table enabled, cached by
+// (profile, block size, table size). Profiles of unknown dynamic type are
+// not cached: the key compares with ==, which would panic on an
+// uncomparable Positioner implementation.
+func (s *Session) cachedCosts(prof tapemodel.Positioner, blockMB float64, maxBlocks int) *sched.CostModel {
+	cacheable := false
+	switch prof.(type) {
+	case *tapemodel.Profile, *tapemodel.Serpentine:
+		cacheable = true
+	}
+	if cacheable {
+		key := costKey{prof, blockMB, maxBlocks}
+		if s.costs != nil && s.costKey == key {
+			return s.costs
+		}
+		costs := newCostModel(prof, blockMB, maxBlocks)
+		s.costs, s.costKey = costs, key
+		return costs
+	}
+	return newCostModel(prof, blockMB, maxBlocks)
+}
+
+// genRng returns the session's recycled workload generator stream,
+// reseeded in place -- Rand.Seed(s) reproduces exactly the stream of
+// rand.New(rand.NewSource(s)), so reuse cannot change results. Nil-safe: a
+// nil session returns a fresh generator, which is what the one-shot Run
+// path uses.
+func (s *Session) genRng(seed int64) *rand.Rand {
+	if s == nil {
+		return rand.New(rand.NewSource(seed))
+	}
+	return reseed(&s.genRand, seed)
+}
+
+// arrRng is genRng for the Poisson arrival stream.
+func (s *Session) arrRng(seed int64) *rand.Rand {
+	if s == nil {
+		return rand.New(rand.NewSource(seed))
+	}
+	return reseed(&s.arrRand, seed)
+}
+
+func reseed(slot **rand.Rand, seed int64) *rand.Rand {
+	if *slot == nil {
+		*slot = rand.New(rand.NewSource(seed))
+	} else {
+		(*slot).Seed(seed)
+	}
+	return *slot
+}
+
+// reclaim harvests the finished engine's recyclable storage back into the
+// session. Live requests are returned to the free list only when neither
+// the fault nor the overload extension is armed: those keep extra request
+// references (fault deferrals, the deadline calendar) whose overlap with
+// the pending list would risk double-freeing; their runs just let the
+// stragglers go to the garbage collector.
+func (s *Session) reclaim(e *engine) {
+	if e == nil {
+		return
+	}
+	free := e.reqFree
+	if e.flt == nil && e.ovl == nil {
+		for i, r := range e.sh.Pending {
+			if r != nil {
+				free = append(free, r)
+			}
+			e.sh.Pending[i] = nil
+		}
+		e.sh.Pending = e.sh.Pending[:0]
+		for i := range e.drives {
+			dr := &e.drives[i]
+			if dr.inFlight != nil {
+				free = append(free, dr.inFlight)
+				dr.inFlight = nil
+			}
+			if st := dr.st; st != nil && st.Active != nil {
+				for r := st.Active.Pop(); r != nil; r = st.Active.Pop() {
+					free = append(free, r)
+				}
+				e.sh.ReleaseSweep(st.Active)
+				st.Active = nil
+			}
+		}
+	}
+	s.reqFree = free
+	s.sh = e.sh
+	s.drives = e.drives[:0]
+	s.respSample = e.respSample
+	s.readsPerTape = e.readsPerTape
+	s.evq = e.evq[:0]
+}

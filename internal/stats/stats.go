@@ -79,6 +79,7 @@ type Reservoir struct {
 	sorted   []float64
 	sortedAt int64
 	keys     []uint64 // sortSamples scratch
+	radix    []uint64 // radix-sort scatter scratch
 }
 
 // NewReservoir creates a reservoir holding at most k samples.
@@ -101,6 +102,16 @@ func (r *Reservoir) Add(x float64, intn func(n int64) int64) {
 
 // Seen returns the total number of observations offered.
 func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Reset empties the reservoir for reuse, keeping its capacity and scratch
+// storage so a session running many simulations allocates the sample
+// buffers once.
+func (r *Reservoir) Reset() {
+	r.samples = r.samples[:0]
+	r.seen = 0
+	r.sorted = r.sorted[:0]
+	r.sortedAt = 0
+}
 
 // Percentile returns the p-quantile (p in [0,1]) of the retained samples
 // using linear interpolation, or 0 when the reservoir is empty.
@@ -153,7 +164,7 @@ func (r *Reservoir) sortSamples() {
 		keys = append(keys, k)
 	}
 	r.keys = keys
-	slices.Sort(keys)
+	keys = r.sortKeys(keys)
 	sorted := r.sorted[:0]
 	for _, k := range keys {
 		if k&sign != 0 {
@@ -164,6 +175,49 @@ func (r *Reservoir) sortSamples() {
 		sorted = append(sorted, math.Float64frombits(k))
 	}
 	r.sorted = sorted
+}
+
+// sortKeys sorts the key slice ascending and returns it (possibly in the
+// reservoir's scatter scratch -- callers must use the return value). A full
+// reservoir uses an LSD byte-radix sort, skipping passes whose digit is
+// shared by every key: response-time samples cluster within a few orders of
+// magnitude, so typically only three or four of the eight passes run,
+// replacing the comparison sort's branchy n log n inner loop with counting
+// passes. Small inputs stay on slices.Sort, which beats the passes' fixed
+// cost there.
+func (r *Reservoir) sortKeys(keys []uint64) []uint64 {
+	if len(keys) < 128 {
+		slices.Sort(keys)
+		return keys
+	}
+	if cap(r.radix) < len(keys) {
+		r.radix = make([]uint64, len(keys))
+	}
+	src, dst := keys, r.radix[:len(keys)]
+	var counts [256]int
+	for shift := uint(0); shift < 64; shift += 8 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, k := range src {
+			counts[byte(k>>shift)]++
+		}
+		if counts[byte(src[0]>>shift)] == len(src) {
+			continue // every key shares this digit; the pass is a no-op
+		}
+		sum := 0
+		for i, c := range counts {
+			counts[i] = sum
+			sum += c
+		}
+		for _, k := range src {
+			d := byte(k >> shift)
+			dst[counts[d]] = k
+			counts[d]++
+		}
+		src, dst = dst, src
+	}
+	return src
 }
 
 // Harmonic returns the n-th harmonic number H_n = sum_{i=1..n} 1/i, the

@@ -167,8 +167,8 @@ func (s *Serpentine) DisplayName() string { return s.Name }
 var _ Positioner = (*Serpentine)(nil)
 
 // PositionerByName resolves any registered drive model: the helical
-// profiles of ProfileByName plus "dlt7000" for the synthetic serpentine
-// drive. It returns nil for unknown names.
+// profiles of ProfileByName plus "dlt7000" and "lto9" for the synthetic
+// serpentine drives. It returns nil for unknown names.
 func PositionerByName(name string) Positioner {
 	if p := ProfileByName(name); p != nil {
 		return p
@@ -176,6 +176,8 @@ func PositionerByName(name string) Positioner {
 	switch name {
 	case "dlt7000", "serpentine":
 		return DLT7000Class()
+	case "lto9", "LTO-9":
+		return LTO9Class()
 	}
 	return nil
 }

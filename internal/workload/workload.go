@@ -42,6 +42,15 @@ type Generator struct {
 // readHotPercent (RH) percent of requests to the hot set. Deterministic for
 // a given seed.
 func NewGenerator(l *layout.Layout, readHotPercent float64, seed int64) (*Generator, error) {
+	return NewGeneratorRand(l, readHotPercent, rand.New(rand.NewSource(seed)))
+}
+
+// NewGeneratorRand is NewGenerator drawing from a caller-supplied source,
+// so a session runner can recycle one generator (reseeded in place) across
+// runs instead of allocating the ~5 KB lagged-Fibonacci state every time.
+// The caller must have seeded rng; Rand.Seed(s) reproduces exactly the
+// stream of rand.New(rand.NewSource(s)).
+func NewGeneratorRand(l *layout.Layout, readHotPercent float64, rng *rand.Rand) (*Generator, error) {
 	if readHotPercent < 0 || readHotPercent > 100 {
 		return nil, fmt.Errorf("workload: RH %v out of range [0,100]", readHotPercent)
 	}
@@ -49,7 +58,7 @@ func NewGenerator(l *layout.Layout, readHotPercent float64, seed int64) (*Genera
 		numHot:  l.NumHot(),
 		numCold: l.NumCold(),
 		rh:      readHotPercent / 100,
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rng,
 	}
 	if g.numHot == 0 && g.rh > 0 {
 		// No hot blocks to direct requests at; fall back to uniform cold.
@@ -148,12 +157,18 @@ type PoissonArrivals struct {
 // NewPoissonArrivals creates an open arrival process; the first arrival
 // occurs at an exponentially distributed time after zero.
 func NewPoissonArrivals(meanInterarrival float64, seed int64) (*PoissonArrivals, error) {
+	return NewPoissonArrivalsRand(meanInterarrival, rand.New(rand.NewSource(seed)))
+}
+
+// NewPoissonArrivalsRand is NewPoissonArrivals drawing from a
+// caller-supplied (already seeded) source; see NewGeneratorRand.
+func NewPoissonArrivalsRand(meanInterarrival float64, rng *rand.Rand) (*PoissonArrivals, error) {
 	if meanInterarrival <= 0 {
 		return nil, fmt.Errorf("workload: mean interarrival %v must be positive", meanInterarrival)
 	}
 	return &PoissonArrivals{
 		MeanInterarrival: meanInterarrival,
-		rng:              rand.New(rand.NewSource(seed)),
+		rng:              rng,
 	}, nil
 }
 

@@ -38,13 +38,18 @@ type ZipfGenerator struct {
 // NewZipfGenerator builds a Zipf source over the blocks of l with exponent
 // s (> 1; larger is more skewed). Deterministic for a given seed.
 func NewZipfGenerator(l *layout.Layout, s float64, seed int64) (*ZipfGenerator, error) {
+	return NewZipfGeneratorRand(l, s, rand.New(rand.NewSource(seed)))
+}
+
+// NewZipfGeneratorRand is NewZipfGenerator drawing from a caller-supplied
+// (already seeded) source; see NewGeneratorRand.
+func NewZipfGeneratorRand(l *layout.Layout, s float64, rng *rand.Rand) (*ZipfGenerator, error) {
 	if s <= 1 {
 		return nil, fmt.Errorf("workload: Zipf exponent %v must exceed 1", s)
 	}
 	if l.NumBlocks() < 1 {
 		return nil, fmt.Errorf("workload: layout holds no blocks")
 	}
-	rng := rand.New(rand.NewSource(seed))
 	return &ZipfGenerator{
 		z:   rand.NewZipf(rng, s, 1, uint64(l.NumBlocks()-1)),
 		rng: rng,

@@ -26,6 +26,20 @@ go test -run '^$' \
     -bench 'BenchmarkUpperEnvelope|BenchmarkEnvelopeReschedule|BenchmarkEnvelopeOnArrival' \
     -benchmem -benchtime 1s ./internal/core | tee -a "$tmp"
 
+# Tracked pair for the experiment engine: BenchmarkFullRun above measures
+# one warm-context run; this measures the real `figures -full` wall time
+# (every figure at the paper's 10M-second horizon, all cores). Recorded as
+# a synthetic one-iteration benchmark line so benchdiff tracks it like any
+# other. Skip with FIGURES_FULL=0 when iterating on micro-benchmarks.
+if [ "${FIGURES_FULL:-1}" != "0" ]; then
+    go build -o "$tmp.figures" ./cmd/figures
+    start=$(date +%s%N)
+    "$tmp.figures" -full > /dev/null
+    elapsed=$(( $(date +%s%N) - start ))
+    rm -f "$tmp.figures"
+    echo "BenchmarkFiguresFullWall 1 $elapsed ns/op" | tee -a "$tmp"
+fi
+
 if [ -n "$base" ]; then
     go run ./cmd/benchdiff -in "$tmp" -json BENCH_sched.json -label "$label" -compare "$base"
 else

@@ -54,8 +54,9 @@ type Result = sim.Result
 // algorithm. The zero value is not runnable; start from WithDefaults.
 type Config struct {
 	// DriveProfile names the drive timing model: "exb8505xl" (the paper's
-	// measured drive, the default) or "fast" (a hypothetical faster
-	// helical-scan drive).
+	// measured drive, the default), "fast" (a hypothetical faster
+	// helical-scan drive), or the synthetic serpentine drives "dlt7000"
+	// and "lto9".
 	DriveProfile string
 	// BlockMB is the I/O transfer size in megabytes (default 16, the
 	// paper's recommendation from Figure 3).
@@ -104,6 +105,13 @@ type Config struct {
 	// Algorithm selects the scheduler (default DynamicMaxBandwidth; see
 	// Algorithms for the full list).
 	Algorithm Algorithm
+
+	// RAO reorders every sweep into a Recommended-Access-Order-style greedy
+	// nearest-first physical order before execution, the way modern LTO
+	// deployments schedule batches. Requires a serpentine drive profile
+	// ("dlt7000" or "lto9"); helical-scan profiles reject it, since their
+	// elevator order already is the physical order.
+	RAO bool
 
 	// QueueLength > 0 selects the closed-queuing workload with a constant
 	// number of outstanding requests (default 60). MeanInterarrivalSec > 0
@@ -249,6 +257,7 @@ func (c Config) toSim() (*sim.Config, error) {
 		QueueLength:      c.QueueLength,
 		MeanInterarrival: c.MeanInterarrivalSec,
 		Scheduler:        schd,
+		RAO:              c.RAO,
 		Drives:           c.Drives,
 		SchedulerFactory: factory,
 		Horizon:          c.HorizonSec,
