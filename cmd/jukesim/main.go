@@ -104,6 +104,12 @@ func run() int {
 		degradeQ    = flag.Int("degrade-queue", 0, "outstanding-request threshold for graceful degradation (0 = off)")
 		degradeMax  = flag.Int("degrade-max-sweep", 0, "truncate sweeps to this many requests while overloaded")
 		degradeDW   = flag.Bool("degrade-defer-writes", false, "defer delta-write flushes while overloaded")
+		repairOn    = flag.Bool("repair", false, "rebuild lost replicas in drive idle time (self-healing replication)")
+		repairHL    = flag.Float64("repair-half-life", 0, "block heat half-life seconds (default 100000)")
+		repairProm  = flag.Float64("repair-promote", 0, "heat above which under-replicated blocks gain a copy (0 = off)")
+		repairRecl  = flag.Float64("repair-reclaim", 0, "heat below which excess copies are reclaimed (0 = off)")
+		repairMax   = flag.Int("repair-max-copies", 0, "cap on copies per block under promotion (default NR+1)")
+		repairScan  = flag.Int("repair-scan-rate", 0, "blocks examined per idle scan (default 64)")
 		format      = flag.String("format", "text", "output format: text or csv")
 		analytic    = flag.Bool("analytic", false, "also print the closed-form estimate (no-replication closed models)")
 		configPath  = flag.String("config", "", "load the full configuration from a JSON file (other workload flags are ignored)")
@@ -193,6 +199,14 @@ func run() int {
 			FlashAt:    *flashAt,
 			FlashLen:   *flashLen,
 			FlashCount: *flashCount,
+		},
+		Repair: tapejuke.RepairConfig{
+			Enable:      *repairOn,
+			HalfLifeSec: *repairHL,
+			PromoteHeat: *repairProm,
+			ReclaimHeat: *repairRecl,
+			MaxCopies:   *repairMax,
+			ScanRate:    *repairScan,
 		},
 		Degrade: tapejuke.DegradeConfig{
 			QueueThreshold: *degradeQ,
@@ -301,6 +315,11 @@ func run() int {
 		if cfg.Degrade.Enabled() {
 			fmt.Printf("degradation          %d truncated sweeps, %d deferred flushes\n",
 				res.TruncatedSweeps, res.DeferredFlushes)
+		}
+		if cfg.Repair.Enabled() {
+			fmt.Printf("repair               %d jobs, %d copies rebuilt, %d reclaimed (%.0f s drive time)\n",
+				res.RepairJobs, res.RepairedCopies, res.ReclaimedCopies, res.RepairSeconds)
+			fmt.Printf("mean time to repair  %.0f s\n", res.MeanTimeToRepairSec)
 		}
 	}
 	return 0

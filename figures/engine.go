@@ -13,10 +13,13 @@ import (
 )
 
 // job is one simulated point of a figure (before replication fan-out).
+// value, when non-nil, extracts an extra metric from each run's result; the
+// replication mean lands in the row's Value column.
 type job struct {
 	series string
 	param  float64
 	cfg    tapejuke.Config
+	value  func(*tapejuke.Result) float64
 }
 
 // plan is a figure broken into its simulation jobs plus a finishing step
@@ -75,6 +78,7 @@ func runGrid(jobs []job, workers, reps int) ([]Row, error) {
 	tps := make([]float64, tasks)
 	rpms := make([]float64, tasks)
 	resps := make([]float64, tasks)
+	vals := make([]float64, tasks)
 	errs := make([]error, tasks)
 	var next atomic.Int64
 	var failed atomic.Bool
@@ -108,6 +112,9 @@ func runGrid(jobs []job, workers, reps int) ([]Row, error) {
 				tps[t] = res.ThroughputKBps
 				rpms[t] = res.RequestsPerMinute
 				resps[t] = res.MeanResponseSec
+				if jobs[i].value != nil {
+					vals[t] = jobs[i].value(res)
+				}
 			}
 		}()
 	}
@@ -117,12 +124,13 @@ func runGrid(jobs []job, workers, reps int) ([]Row, error) {
 	}
 	rows := make([]Row, len(jobs))
 	for i := range jobs {
-		var tp, rpm, resp stats.Accumulator
+		var tp, rpm, resp, val stats.Accumulator
 		for rep := 0; rep < reps; rep++ {
 			t := i*reps + rep
 			tp.Add(tps[t])
 			rpm.Add(rpms[t])
 			resp.Add(resps[t])
+			val.Add(vals[t])
 		}
 		rows[i] = Row{
 			Series:            jobs[i].series,
@@ -130,6 +138,9 @@ func runGrid(jobs []job, workers, reps int) ([]Row, error) {
 			ThroughputKBps:    tp.Mean(),
 			RequestsPerMinute: rpm.Mean(),
 			MeanResponseSec:   resp.Mean(),
+		}
+		if jobs[i].value != nil {
+			rows[i].Value = val.Mean()
 		}
 		if reps > 1 {
 			n := math.Sqrt(float64(reps))

@@ -154,3 +154,55 @@ func planGradualFill(o Options) (plan, error) {
 		}, nil
 	}}, nil
 }
+
+// Repair studies the self-healing replication extension: availability as a
+// function of the simulated horizon under random tape failures, with and
+// without background repair, at one and two extra replicas. Longer horizons
+// accumulate more tape deaths; without repair each death permanently erodes
+// the surviving copy count, while the repair planner rebuilds lost replicas
+// during idle time and holds availability up. Row.Value carries the
+// availability (post-warmup completed / (completed + unserviceable)).
+func Repair(o Options) (*Figure, error) { return runPlan(o, planRepair) }
+
+func planRepair(o Options) (plan, error) {
+	horizons := []float64{250_000, 500_000, 1_000_000, 1_500_000, 2_000_000}
+	avail := func(r *tapejuke.Result) float64 { return r.Availability }
+	var jobs []job
+	for _, nr := range []int{1, 2} {
+		for _, rep := range []bool{false, true} {
+			for _, h := range horizons {
+				// The open uniform-heat workload that separates the
+				// series cleanly: every block hot and requested, so a
+				// block whose copies all die is noticed as unserviceable
+				// demand rather than silently never asked for.
+				cfg := tapejuke.Config{
+					Algorithm:           tapejuke.EnvelopeMaxBandwidth,
+					HotPercent:          100,
+					ReadHotPercent:      100,
+					DataMB:              16_000,
+					Replicas:            nr,
+					MeanInterarrivalSec: 300,
+					HorizonSec:          h,
+					Seed:                13 + o.Seed,
+					Faults:              tapejuke.FaultConfig{TapeMTBFSec: 1_200_000},
+				}.WithDefaults()
+				cfg.QueueLength = 0
+				label := fmt.Sprintf("NR%d-norepair", nr)
+				if rep {
+					cfg.Repair = tapejuke.RepairConfig{Enable: true}
+					label = fmt.Sprintf("NR%d-repair", nr)
+				}
+				jobs = append(jobs, job{series: label, param: h, cfg: cfg, value: avail})
+			}
+		}
+	}
+	return plan{jobs: jobs, finish: func(rows []Row) (*Figure, error) {
+		return &Figure{
+			ID:        "repair",
+			Title:     "Extension: self-healing replication under tape failures (PH-100 RH-100, open model)",
+			ParamName: "horizon_s",
+			ValueName: "availability",
+			Rows:      rows,
+		}, nil
+	}}, nil
+}

@@ -213,6 +213,43 @@ func (e *Envelope) OnEvict(st *sched.State, r *sched.Request) {
 	}
 }
 
+// OnCopyAdded tells the scheduler the repair subsystem minted a new copy
+// of block b at c. When the copy lands on the mounted tape ahead of the
+// head during an active sweep, the envelope extends over it so
+// incremental arrivals can target the fresh copy this pass -- the same
+// extension OnArrival performs for a chosen replica. Copies elsewhere
+// need nothing: every reschedule rebuilds the envelope from the live
+// replica tables. Implements the engine's optional sched.CopyObserver
+// hook.
+func (e *Envelope) OnCopyAdded(st *sched.State, b layout.BlockID, c layout.Replica) {
+	if e.env == nil || st.Active == nil || st.Mounted < 0 || c.Tape != st.Mounted {
+		return
+	}
+	if c.Pos >= st.Head && c.Pos+1 > e.env[c.Tape] {
+		e.env[c.Tape] = c.Pos + 1
+	}
+}
+
+// OnCopyRemoved tells the scheduler a copy of block b at c was reclaimed.
+// When the removed copy sat at the mounted tape's envelope edge, the
+// boundary tightens to the remaining sweep's reach, exactly as OnEvict
+// does, so incremental arrivals stop riding through a position nothing
+// will visit.
+func (e *Envelope) OnCopyRemoved(st *sched.State, b layout.BlockID, c layout.Replica) {
+	if e.env == nil || st.Mounted < 0 || c.Tape != st.Mounted || c.Pos+1 != e.env[c.Tape] {
+		return
+	}
+	edge := st.Head
+	if st.Active != nil {
+		if m := st.Active.MaxPos(); m+1 > edge {
+			edge = m + 1
+		}
+	}
+	if edge < e.env[st.Mounted] {
+		e.env[st.Mounted] = edge
+	}
+}
+
 // replicaInside returns block b's copy on `tape` when that copy lies inside
 // the envelope and is readable. UsableOn is flattened here so the readable
 // check inlines in the per-request extraction loop.

@@ -75,6 +75,7 @@ type Layout struct {
 	cfg     Config
 	numHot  int
 	manual  bool        // built by NewManual: replica counts are caller-chosen
+	mutated bool        // modified after construction by AddCopy/RemoveCopy
 	copies  [][]Replica // indexed by BlockID; copies[b][0] is the original
 	blockAt [][]BlockID // [tape][pos] -> block, or -1 for unused positions
 
@@ -436,7 +437,7 @@ func (l *Layout) ExpansionFactor() float64 {
 func (l *Layout) Validate() error {
 	seen := make(map[Replica]BlockID)
 	for b, cs := range l.copies {
-		if !l.manual {
+		if !l.manual && !l.mutated {
 			want := 1
 			if l.IsHot(BlockID(b)) && l.cfg.Tapes > 1 {
 				want = 1 + l.cfg.Replicas

@@ -1,0 +1,139 @@
+package layout
+
+import (
+	"sort"
+	"testing"
+)
+
+func mutLayout(t *testing.T) *Layout {
+	t.Helper()
+	l, err := Build(Config{Tapes: 4, TapeCapBlocks: 8, HotPercent: 25, Replicas: 1, DataBlocks: 12})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return l
+}
+
+func TestAddCopyMaintainsIndexes(t *testing.T) {
+	l := mutLayout(t)
+	b := BlockID(l.NumHot()) // a cold block: exactly one copy
+	if n := len(l.Replicas(b)); n != 1 {
+		t.Fatalf("cold block %d has %d copies before mutation", b, n)
+	}
+	// Find a tape without a copy of b and its first free position.
+	dst := -1
+	for tp := 0; tp < l.Tapes(); tp++ {
+		if _, ok := l.ReplicaOn(b, tp); !ok && l.FreeBlocks(tp) > 0 {
+			dst = tp
+			break
+		}
+	}
+	if dst < 0 {
+		t.Fatal("no tape with spare capacity")
+	}
+	pos := l.FirstFree(dst, nil)
+	if pos < 0 {
+		t.Fatal("FirstFree found nothing on a tape with FreeBlocks > 0")
+	}
+	free := l.FreeBlocks(dst)
+
+	if err := l.AddCopy(b, dst, pos); err != nil {
+		t.Fatalf("AddCopy: %v", err)
+	}
+	if !l.Mutated() {
+		t.Error("Mutated() = false after AddCopy")
+	}
+	if c, ok := l.ReplicaOn(b, dst); !ok || c.Pos != pos {
+		t.Errorf("ReplicaOn(%d,%d) = %v,%v, want pos %d", b, dst, c, ok, pos)
+	}
+	if got, ok := l.BlockAt(dst, pos); !ok || got != b {
+		t.Errorf("BlockAt(%d,%d) = %v,%v, want %d", dst, pos, got, ok, b)
+	}
+	if got := l.FreeBlocks(dst); got != free-1 {
+		t.Errorf("FreeBlocks = %d, want %d", got, free-1)
+	}
+	slots := l.TapeContents(dst)
+	if !sort.SliceIsSorted(slots, func(i, j int) bool { return slots[i].Pos < slots[j].Pos }) {
+		t.Error("TapeContents not position-sorted after AddCopy")
+	}
+	found := false
+	for _, s := range slots {
+		if s.Pos == pos && s.Block == b {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new copy missing from TapeContents")
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("Validate after AddCopy: %v", err)
+	}
+
+	// Duplicate copy on the same tape and occupied positions are rejected.
+	if err := l.AddCopy(b, dst, l.FirstFree(dst, nil)); err == nil {
+		t.Error("AddCopy allowed a second copy on the same tape")
+	}
+	orig := l.Replicas(b)[0]
+	other := BlockID(int(b) + 1)
+	if err := l.AddCopy(other, orig.Tape, orig.Pos); err == nil {
+		t.Error("AddCopy allowed an occupied position")
+	}
+}
+
+func TestRemoveCopyMaintainsIndexes(t *testing.T) {
+	l := mutLayout(t)
+	b := BlockID(0) // hot: original + 1 replica
+	cs := l.Replicas(b)
+	if len(cs) != 2 {
+		t.Fatalf("hot block has %d copies, want 2", len(cs))
+	}
+	victim := cs[1]
+	free := l.FreeBlocks(victim.Tape)
+	if err := l.RemoveCopy(b, victim.Tape); err != nil {
+		t.Fatalf("RemoveCopy: %v", err)
+	}
+	if _, ok := l.ReplicaOn(b, victim.Tape); ok {
+		t.Error("ReplicaOn still sees the removed copy")
+	}
+	if _, ok := l.BlockAt(victim.Tape, victim.Pos); ok {
+		t.Error("BlockAt still occupied after RemoveCopy")
+	}
+	if got := l.FreeBlocks(victim.Tape); got != free+1 {
+		t.Errorf("FreeBlocks = %d, want %d", got, free+1)
+	}
+	for _, s := range l.TapeContents(victim.Tape) {
+		if s.Pos == victim.Pos {
+			t.Error("removed copy still listed in TapeContents")
+		}
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("Validate after RemoveCopy: %v", err)
+	}
+
+	// The sole remaining copy is protected.
+	if err := l.RemoveCopy(b, l.Replicas(b)[0].Tape); err == nil {
+		t.Error("RemoveCopy deleted the sole copy")
+	}
+	// Removing a copy that does not exist fails.
+	if err := l.RemoveCopy(b, victim.Tape); err == nil {
+		t.Error("RemoveCopy succeeded on an absent copy")
+	}
+}
+
+func TestAddRemoveRoundTrip(t *testing.T) {
+	l := mutLayout(t)
+	b := BlockID(0)
+	victim := l.Replicas(b)[1]
+	if err := l.RemoveCopy(b, victim.Tape); err != nil {
+		t.Fatalf("RemoveCopy: %v", err)
+	}
+	if err := l.AddCopy(b, victim.Tape, victim.Pos); err != nil {
+		t.Fatalf("AddCopy back: %v", err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("Validate after round trip: %v", err)
+	}
+	if c, ok := l.ReplicaOn(b, victim.Tape); !ok || c != victim {
+		t.Errorf("round trip lost the copy: %v, %v", c, ok)
+	}
+}

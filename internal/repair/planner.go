@@ -1,0 +1,394 @@
+package repair
+
+import (
+	"sort"
+
+	"tapejuke/internal/layout"
+)
+
+// Step identifies the next action a repair job needs. A job is a two-step
+// state machine -- read a surviving copy, then write the new one -- and
+// the step only ever advances: an interrupted job resumes from its last
+// completed step.
+type Step uint8
+
+const (
+	StepRead  Step = iota // next action: read a surviving copy
+	StepWrite             // read done; next action: write the new copy
+)
+
+// SrcStatus reports the outcome of source selection for a job's read step.
+type SrcStatus uint8
+
+const (
+	SrcOK   SrcStatus = iota // a surviving copy was chosen
+	SrcBusy                  // live copies exist but none is claimable right now
+	SrcGone                  // no live copy anywhere: the block is beyond repair
+	SrcDone                  // the block already has its target number of live copies
+)
+
+// Job is one unit of re-replication work: mint exactly one new copy of
+// Block. Jobs are identified by a monotone ID so traces and the verifier
+// can match a write step to the read step that fed it.
+type Job struct {
+	ID    int64
+	Block layout.BlockID
+	At    float64 // enqueue time: when the copy loss was discovered
+	Want  int     // target number of live copies for the block
+	Step  Step
+	Src   layout.Replica // surviving copy chosen for the read step
+	Dst   layout.Replica // reserved destination; valid while Reserved
+	// Reserved marks that Dst's position is held in the planner's
+	// reservation table; it is the job's only scratch state and is
+	// released on commit, abort, and cancel alike.
+	Reserved bool
+}
+
+// Config tunes the planner's promotion and reclamation policy.
+type Config struct {
+	// MaxCopies caps the number of copies per block that promotion may
+	// reach. Repair of lost copies targets each block's build-time count
+	// regardless.
+	MaxCopies int
+	// PromoteHeat, when positive, enqueues an extra copy for blocks whose
+	// decayed heat reaches it.
+	PromoteHeat float64
+	// ReclaimHeat, when positive, nominates excess copies of blocks whose
+	// heat has fallen to or below it for reclamation.
+	ReclaimHeat float64
+	// ScanRate is the number of blocks the rotating promote/reclaim scan
+	// inspects per idle visit.
+	ScanRate int
+}
+
+// Planner owns the repair job table. It mutates the layout only inside
+// Commit (adding the minted copy); everything else is bookkeeping, so an
+// interrupted job leaves no trace beyond its own entry.
+type Planner struct {
+	lay  *layout.Layout
+	heat *Heat
+	cfg  Config
+
+	// copyOK reports whether a physical copy is readable (its tape is up
+	// and the copy itself is not dead). tapeUp reports whether a tape may
+	// receive new copies at all (not discovered failed). posOK reports
+	// whether a free position may hold a new copy (not a known bad block).
+	copyOK func(layout.Replica) bool
+	tapeUp func(tape int) bool
+	posOK  func(tape, pos int) bool
+
+	jobs      []*Job // active jobs in ID order
+	byBlock   map[layout.BlockID]*Job
+	base      []int32        // copies per block at construction time
+	reserved  map[int64]bool // packed (tape,pos) held by in-flight writes
+	resByTape []int32
+	nextID    int64
+	cursor    int // rotating scan position
+	created   int64
+	ranked    []*Job // scratch for Ranked
+}
+
+// New builds a planner over lay. copyOK, tapeUp, and posOK inject
+// liveness; any may be nil, meaning everything is live.
+func New(lay *layout.Layout, heat *Heat, cfg Config,
+	copyOK func(layout.Replica) bool, tapeUp func(tape int) bool,
+	posOK func(tape, pos int) bool) *Planner {
+	if copyOK == nil {
+		copyOK = func(layout.Replica) bool { return true }
+	}
+	if tapeUp == nil {
+		tapeUp = func(int) bool { return true }
+	}
+	if posOK == nil {
+		posOK = func(int, int) bool { return true }
+	}
+	if cfg.ScanRate <= 0 {
+		cfg.ScanRate = 64
+	}
+	p := &Planner{
+		lay: lay, heat: heat, cfg: cfg, copyOK: copyOK, tapeUp: tapeUp, posOK: posOK,
+		byBlock:   make(map[layout.BlockID]*Job),
+		base:      make([]int32, lay.NumBlocks()),
+		reserved:  make(map[int64]bool),
+		resByTape: make([]int32, lay.Tapes()),
+		nextID:    1,
+	}
+	for b := range p.base {
+		p.base[b] = int32(len(lay.Replicas(layout.BlockID(b))))
+	}
+	return p
+}
+
+func packPos(tape, pos int) int64 { return int64(tape)<<32 | int64(uint32(pos)) }
+
+// LiveCopies counts block b's readable copies.
+func (p *Planner) LiveCopies(b layout.BlockID) int {
+	n := 0
+	for _, c := range p.lay.Replicas(b) {
+		if p.copyOK(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// Base returns block b's copy count at planner construction: the target
+// that loss-driven repair restores.
+func (p *Planner) Base(b layout.BlockID) int { return int(p.base[b]) }
+
+// Active returns the number of jobs currently in the table.
+func (p *Planner) Active() int { return len(p.jobs) }
+
+// Created returns the total number of jobs ever enqueued.
+func (p *Planner) Created() int64 { return p.created }
+
+// ReservedCount returns the number of outstanding destination
+// reservations; it must be zero once the job table drains (leaked scratch
+// state otherwise).
+func (p *Planner) ReservedCount() int { return len(p.reserved) }
+
+// Feasible reports whether some up tape could receive a new copy of j's
+// block right now: no existing copy there and spare capacity beyond the
+// outstanding reservations. Jobs that fail this are cancelled instead of
+// lingering; the rotating scan re-enqueues the block if capacity frees up
+// (reclaim) while it is still under-replicated.
+func (p *Planner) Feasible(j *Job) bool { return p.hasDest(j.Block) }
+
+func (p *Planner) hasDest(b layout.BlockID) bool {
+	for t := 0; t < p.lay.Tapes(); t++ {
+		if !p.tapeUp(t) {
+			continue
+		}
+		if _, dup := p.lay.ReplicaOn(b, t); dup {
+			continue
+		}
+		if p.lay.FreeBlocks(t)-int(p.resByTape[t]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// enqueue creates a job targeting `want` live copies of b, if one is
+// worthwhile: no job already covers b, at least one copy survives, the
+// block is below target, and a destination tape exists.
+func (p *Planner) enqueue(b layout.BlockID, now float64, want int) *Job {
+	if p.byBlock[b] != nil {
+		return nil
+	}
+	live := p.LiveCopies(b)
+	if live == 0 || live >= want {
+		return nil
+	}
+	if !p.hasDest(b) {
+		return nil
+	}
+	j := &Job{ID: p.nextID, Block: b, At: now, Want: want}
+	p.nextID++
+	p.created++
+	p.jobs = append(p.jobs, j)
+	p.byBlock[b] = j
+	return j
+}
+
+// NoteTapeFail reacts to a tape death: every block that had a copy on the
+// tape is a repair candidate.
+func (p *Planner) NoteTapeFail(tape int, now float64) {
+	for _, s := range p.lay.TapeContents(tape) {
+		p.enqueue(s.Block, now, p.Base(s.Block))
+	}
+}
+
+// NoteCopyDead reacts to a single copy death (a bad block escalation).
+func (p *Planner) NoteCopyDead(tape, pos int, now float64) {
+	if b, ok := p.lay.BlockAt(tape, pos); ok {
+		p.enqueue(b, now, p.Base(b))
+	}
+}
+
+// Ranked returns the active jobs hottest-first (ties break toward the
+// older job) so idle drive time goes to the blocks most likely to be
+// requested. The returned slice is reused across calls.
+func (p *Planner) Ranked(now float64) []*Job {
+	p.ranked = append(p.ranked[:0], p.jobs...)
+	sort.SliceStable(p.ranked, func(i, j int) bool {
+		hi := p.heat.At(int(p.ranked[i].Block), now)
+		hj := p.heat.At(int(p.ranked[j].Block), now)
+		if hi != hj {
+			return hi > hj
+		}
+		return p.ranked[i].ID < p.ranked[j].ID
+	})
+	return p.ranked
+}
+
+// PickSource selects the surviving copy j's read step should use. ok, when
+// non-nil, further filters candidates (the engine rejects tapes another
+// drive holds). SrcDone and SrcGone mean the job should be cancelled.
+func (p *Planner) PickSource(j *Job, ok func(layout.Replica) bool) (layout.Replica, SrcStatus) {
+	if p.LiveCopies(j.Block) >= j.Want {
+		return layout.Replica{}, SrcDone
+	}
+	anyLive := false
+	for _, c := range p.lay.Replicas(j.Block) {
+		if !p.copyOK(c) {
+			continue
+		}
+		anyLive = true
+		if ok == nil || ok(c) {
+			j.Src = c
+			return c, SrcOK
+		}
+	}
+	if anyLive {
+		return layout.Replica{}, SrcBusy
+	}
+	return layout.Replica{}, SrcGone
+}
+
+// FinishRead advances j past its completed read step.
+func (p *Planner) FinishRead(j *Job) { j.Step = StepWrite }
+
+// ChooseDest reserves a destination for j's write step: the acceptable
+// tape with the most spare capacity (ties toward the lowest index) that
+// holds no copy of the block, at its lowest usable free position. tapeOK,
+// when non-nil, filters tapes (the engine requires up and claimable).
+// Returns false when no destination exists right now.
+func (p *Planner) ChooseDest(j *Job, tapeOK func(int) bool) (layout.Replica, bool) {
+	if j.Reserved {
+		return j.Dst, true
+	}
+	type cand struct {
+		tape, spare int
+	}
+	var cands []cand
+	for t := 0; t < p.lay.Tapes(); t++ {
+		if !p.tapeUp(t) || (tapeOK != nil && !tapeOK(t)) {
+			continue
+		}
+		if _, dup := p.lay.ReplicaOn(j.Block, t); dup {
+			continue
+		}
+		spare := p.lay.FreeBlocks(t) - int(p.resByTape[t])
+		if spare > 0 {
+			cands = append(cands, cand{t, spare})
+		}
+	}
+	sort.Slice(cands, func(i, k int) bool {
+		if cands[i].spare != cands[k].spare {
+			return cands[i].spare > cands[k].spare
+		}
+		return cands[i].tape < cands[k].tape
+	})
+	for _, c := range cands {
+		pos := p.lay.FirstFree(c.tape, func(pos int) bool {
+			return !p.reserved[packPos(c.tape, pos)] && p.posOK(c.tape, pos)
+		})
+		if pos < 0 {
+			continue
+		}
+		j.Dst = layout.Replica{Tape: c.tape, Pos: pos}
+		j.Reserved = true
+		p.reserved[packPos(c.tape, pos)] = true
+		p.resByTape[c.tape]++
+		return j.Dst, true
+	}
+	return layout.Replica{}, false
+}
+
+// release drops j's destination reservation, if any.
+func (p *Planner) release(j *Job) {
+	if !j.Reserved {
+		return
+	}
+	delete(p.reserved, packPos(j.Dst.Tape, j.Dst.Pos))
+	p.resByTape[j.Dst.Tape]--
+	j.Reserved = false
+}
+
+// Abort rolls back an issued write whose destination died before the
+// commit settled: the reservation is released and the job stays at
+// StepWrite with its completed read intact (monotone -- no regression).
+func (p *Planner) Abort(j *Job) { p.release(j) }
+
+// Commit finalizes j's write step: the minted copy enters the layout at
+// the reserved destination, the reservation is released, and the job is
+// retired. If the block is still under target (several copies were lost)
+// a fresh job is enqueued. Returns the new copy.
+func (p *Planner) Commit(j *Job, now float64) (layout.Replica, error) {
+	if err := p.lay.AddCopy(j.Block, j.Dst.Tape, j.Dst.Pos); err != nil {
+		return layout.Replica{}, err
+	}
+	c := j.Dst
+	p.release(j)
+	p.drop(j)
+	p.enqueue(j.Block, now, j.Want)
+	return c, nil
+}
+
+// Cancel retires j without minting anything, releasing any reservation.
+func (p *Planner) Cancel(j *Job) {
+	p.release(j)
+	p.drop(j)
+}
+
+func (p *Planner) drop(j *Job) {
+	for i, q := range p.jobs {
+		if q == j {
+			p.jobs = append(p.jobs[:i], p.jobs[i+1:]...)
+			break
+		}
+	}
+	if p.byBlock[j.Block] == j {
+		delete(p.byBlock, j.Block)
+	}
+}
+
+// Scan advances the rotating block scan by ScanRate blocks: it enqueues
+// repair for under-replicated blocks the event path missed (injected bad
+// blocks), promotes hot blocks toward MaxCopies, and nominates cold
+// excess copies to the reclaim callback, which performs the removal (the
+// engine vetoes copies that are in use) and reports whether it did.
+func (p *Planner) Scan(now float64, reclaim func(layout.BlockID, layout.Replica) bool) {
+	n := p.lay.NumBlocks()
+	if n == 0 {
+		return
+	}
+	steps := p.cfg.ScanRate
+	if steps > n {
+		steps = n
+	}
+	for i := 0; i < steps; i++ {
+		b := layout.BlockID(p.cursor)
+		p.cursor = (p.cursor + 1) % n
+		if p.byBlock[b] != nil {
+			continue
+		}
+		live := p.LiveCopies(b)
+		base := p.Base(b)
+		switch {
+		case live >= 1 && live < base:
+			p.enqueue(b, now, base)
+		case p.cfg.PromoteHeat > 0 && live >= base && live < p.cfg.MaxCopies &&
+			p.heat.At(int(b), now) >= p.cfg.PromoteHeat:
+			p.enqueue(b, now, live+1)
+		case p.cfg.ReclaimHeat > 0 && live > base &&
+			p.heat.At(int(b), now) <= p.cfg.ReclaimHeat:
+			if c, ok := p.reclaimVictim(b); ok {
+				reclaim(b, c)
+			}
+		}
+	}
+}
+
+// reclaimVictim picks the copy to give back: the newest live copy that is
+// not the original.
+func (p *Planner) reclaimVictim(b layout.BlockID) (layout.Replica, bool) {
+	cs := p.lay.Replicas(b)
+	for i := len(cs) - 1; i >= 1; i-- {
+		if p.copyOK(cs[i]) {
+			return cs[i], true
+		}
+	}
+	return layout.Replica{}, false
+}

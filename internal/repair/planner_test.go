@@ -1,0 +1,376 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+
+	"tapejuke/internal/layout"
+)
+
+func TestHeatDecay(t *testing.T) {
+	h := NewHeat(2, 100)
+	h.Touch(0, 0)
+	if got := h.At(0, 0); got != 1 {
+		t.Fatalf("heat at touch time = %v, want 1", got)
+	}
+	if got := h.At(0, 100); got < 0.49 || got > 0.51 {
+		t.Errorf("heat after one half-life = %v, want ~0.5", got)
+	}
+	if got := h.At(1, 1000); got != 0 {
+		t.Errorf("untouched block heat = %v, want 0", got)
+	}
+	// A non-positive half-life disables decay.
+	raw := NewHeat(1, 0)
+	raw.Touch(0, 0)
+	raw.Touch(0, 500)
+	if got := raw.At(0, 10_000); got != 2 {
+		t.Errorf("raw count = %v, want 2", got)
+	}
+}
+
+// testJuke is the mutable liveness world the planner operates against.
+type testJuke struct {
+	lay  *layout.Layout
+	down []bool
+	dead map[layout.Replica]bool
+}
+
+func newTestJuke(t testing.TB, tapes, capBlocks, nr, blocks int) *testJuke {
+	t.Helper()
+	lay, err := layout.Build(layout.Config{
+		Tapes: tapes, TapeCapBlocks: capBlocks, HotPercent: 50,
+		Replicas: nr, DataBlocks: blocks,
+	})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return &testJuke{lay: lay, down: make([]bool, tapes), dead: make(map[layout.Replica]bool)}
+}
+
+func (j *testJuke) copyOK(c layout.Replica) bool { return !j.down[c.Tape] && !j.dead[c] }
+
+func (j *testJuke) planner(cfg Config, heat *Heat) *Planner {
+	return New(j.lay, heat, cfg, j.copyOK, func(tp int) bool { return !j.down[tp] }, nil)
+}
+
+// driveJob runs one full, uninterrupted repair cycle for the hottest job.
+func driveJob(t *testing.T, jk *testJuke, pl *Planner, now float64) {
+	t.Helper()
+	jobs := pl.Ranked(now)
+	if len(jobs) == 0 {
+		t.Fatal("no job to drive")
+	}
+	j := jobs[0]
+	if _, st := pl.PickSource(j, nil); st != SrcOK {
+		t.Fatalf("PickSource status %d, want SrcOK", st)
+	}
+	pl.FinishRead(j)
+	if _, ok := pl.ChooseDest(j, func(tp int) bool { return !jk.down[tp] }); !ok {
+		t.Fatal("ChooseDest found nothing")
+	}
+	if _, err := pl.Commit(j, now); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func TestPlannerRepairsTapeFailure(t *testing.T) {
+	jk := newTestJuke(t, 4, 16, 1, 16)
+	pl := jk.planner(Config{}, NewHeat(jk.lay.NumBlocks(), 1000))
+
+	victim := 0
+	lost := len(jk.lay.TapeContents(victim))
+	if lost == 0 {
+		t.Fatal("tape 0 holds nothing")
+	}
+	jk.down[victim] = true
+	pl.NoteTapeFail(victim, 10)
+
+	// Every block that kept at least one live copy and fell under its base
+	// count gets a job; blocks whose only copy died are beyond repair.
+	for pl.Active() > 0 {
+		driveJob(t, jk, pl, 20)
+	}
+	if pl.Created() == 0 {
+		t.Fatal("tape failure enqueued no jobs")
+	}
+	for b := 0; b < jk.lay.NumBlocks(); b++ {
+		blk := layout.BlockID(b)
+		live, base := pl.LiveCopies(blk), pl.Base(blk)
+		hadLive := false
+		for _, c := range jk.lay.Replicas(blk) {
+			if c.Tape != victim {
+				hadLive = true
+			}
+		}
+		if hadLive && live < base {
+			t.Errorf("block %d: %d live copies after repair, want >= %d", b, live, base)
+		}
+	}
+	if err := jk.lay.Validate(); err != nil {
+		t.Errorf("Validate after repair: %v", err)
+	}
+	if pl.ReservedCount() != 0 {
+		t.Errorf("leaked %d reservations", pl.ReservedCount())
+	}
+}
+
+func TestPlannerPromoteAndReclaim(t *testing.T) {
+	jk := newTestJuke(t, 4, 16, 1, 16)
+	heat := NewHeat(jk.lay.NumBlocks(), 1e12) // effectively no decay
+	pl := jk.planner(Config{MaxCopies: 3, PromoteHeat: 3, ReclaimHeat: 0.5, ScanRate: 64}, heat)
+
+	hot := layout.BlockID(jk.lay.NumHot()) // a cold block with one copy
+	for i := 0; i < 5; i++ {
+		heat.Touch(int(hot), float64(i))
+	}
+	pl.Scan(10, func(layout.BlockID, layout.Replica) bool { return true })
+	if pl.Active() != 1 {
+		t.Fatalf("Active = %d after hot scan, want 1 promote job", pl.Active())
+	}
+	driveJob(t, jk, pl, 20)
+	if got := pl.LiveCopies(hot); got != 2 {
+		t.Fatalf("promoted block has %d live copies, want 2", got)
+	}
+
+	// A fresh planner (whose base is captured after a copy death) repairs
+	// under-replicated blocks through the scan path, independent of heat.
+	cold := jk.planner(Config{ScanRate: 64}, NewHeat(jk.lay.NumBlocks(), 1000))
+	cs := jk.lay.Replicas(hot)
+	jk.dead[cs[1]] = true
+	cold.Scan(30, func(layout.BlockID, layout.Replica) bool { return true })
+	if cold.Active() != 1 {
+		t.Fatalf("scan did not enqueue repair for under-replicated block (Active=%d)", cold.Active())
+	}
+}
+
+func TestScanReclaimsColdExcess(t *testing.T) {
+	jk := newTestJuke(t, 4, 16, 1, 16)
+	// Capture base, then mint an extra copy so live > base.
+	pl := jk.planner(Config{ReclaimHeat: 0.5, ScanRate: 64}, NewHeat(jk.lay.NumBlocks(), 1000))
+	b := layout.BlockID(jk.lay.NumHot())
+	dst := -1
+	for tp := 0; tp < jk.lay.Tapes(); tp++ {
+		if _, ok := jk.lay.ReplicaOn(b, tp); !ok {
+			dst = tp
+			break
+		}
+	}
+	pos := jk.lay.FirstFree(dst, nil)
+	if err := jk.lay.AddCopy(b, dst, pos); err != nil {
+		t.Fatalf("AddCopy: %v", err)
+	}
+	var got []layout.Replica
+	pl.Scan(10, func(blk layout.BlockID, c layout.Replica) bool {
+		if blk != b {
+			t.Errorf("nominated block %d, want %d", blk, b)
+		}
+		got = append(got, c)
+		if err := jk.lay.RemoveCopy(blk, c.Tape); err != nil {
+			t.Fatalf("RemoveCopy: %v", err)
+		}
+		return true
+	})
+	if len(got) != 1 {
+		t.Fatalf("reclaimed %d copies, want 1", len(got))
+	}
+	if got[0].Tape != dst || got[0].Pos != pos {
+		t.Errorf("reclaimed %v, want the minted excess copy {%d %d}", got[0], dst, pos)
+	}
+	if err := jk.lay.Validate(); err != nil {
+		t.Errorf("Validate after reclaim: %v", err)
+	}
+}
+
+// killResumeCase runs one randomized kill/resume scenario: jobs are
+// interrupted at arbitrary step boundaries (abandoned, aborted after an
+// issued write, raced by new failures) and must stay monotone -- a job's
+// step never regresses, no duplicate copy is ever minted, and when the
+// table drains no reservation is left behind.
+func killResumeCase(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	tapes := 4 + rng.Intn(4)
+	capBlocks := 12 + rng.Intn(8)
+	nr := 1 + rng.Intn(2)
+	blocks := tapes * capBlocks / 4
+	jk := newTestJuke(t, tapes, capBlocks, nr, blocks)
+	heat := NewHeat(blocks, 500)
+	pl := jk.planner(Config{MaxCopies: nr + 2, PromoteHeat: 4, ReclaimHeat: 0.1, ScanRate: 8}, heat)
+
+	step := make(map[int64]Step) // high-water step per job ID
+	lastID := int64(0)
+	now := 0.0
+
+	checkMonotone := func() {
+		t.Helper()
+		for _, j := range pl.Ranked(now) {
+			if prev, ok := step[j.ID]; ok && j.Step < prev {
+				t.Fatalf("seed %d: job %d regressed from step %d to %d", seed, j.ID, prev, j.Step)
+			}
+			if j.ID <= lastID-int64(pl.Active())-100 {
+				t.Fatalf("seed %d: stale job %d reappeared", seed, j.ID)
+			}
+			step[j.ID] = j.Step
+			if j.ID > lastID {
+				lastID = j.ID
+			}
+		}
+	}
+
+	reclaim := func(b layout.BlockID, c layout.Replica) bool {
+		if rng.Intn(2) == 0 {
+			return false // engine veto: copy in use
+		}
+		if err := jk.lay.RemoveCopy(b, c.Tape); err != nil {
+			t.Fatalf("seed %d: reclaim RemoveCopy: %v", seed, err)
+		}
+		return true
+	}
+
+	upTapes := func() int {
+		n := 0
+		for _, d := range jk.down {
+			if !d {
+				n++
+			}
+		}
+		return n
+	}
+
+	for iter := 0; iter < 120; iter++ {
+		now += rng.Float64() * 20
+		heat.Touch(rng.Intn(blocks), now)
+
+		switch rng.Intn(10) {
+		case 0: // tape failure
+			if upTapes() > 1 {
+				tp := rng.Intn(tapes)
+				if !jk.down[tp] {
+					jk.down[tp] = true
+					pl.NoteTapeFail(tp, now)
+				}
+			}
+		case 1: // single copy death
+			b := layout.BlockID(rng.Intn(blocks))
+			cs := jk.lay.Replicas(b)
+			c := cs[rng.Intn(len(cs))]
+			if !jk.dead[c] {
+				jk.dead[c] = true
+				pl.NoteCopyDead(c.Tape, c.Pos, now)
+			}
+		case 2:
+			pl.Scan(now, reclaim)
+		}
+
+		jobs := pl.Ranked(now)
+		if len(jobs) == 0 {
+			continue
+		}
+		j := jobs[rng.Intn(len(jobs))]
+		if rng.Intn(3) == 0 {
+			// Kill: the drive was preempted before issuing this step.
+			checkMonotone()
+			continue
+		}
+		switch j.Step {
+		case StepRead:
+			var filter func(layout.Replica) bool
+			if rng.Intn(3) == 0 {
+				busy := rng.Intn(tapes)
+				filter = func(c layout.Replica) bool { return c.Tape != busy }
+			}
+			_, st := pl.PickSource(j, filter)
+			switch st {
+			case SrcOK:
+				pl.FinishRead(j)
+			case SrcGone, SrcDone:
+				pl.Cancel(j)
+			case SrcBusy:
+				// resume later
+			}
+		case StepWrite:
+			dst, ok := pl.ChooseDest(j, func(tp int) bool { return !jk.down[tp] })
+			if !ok {
+				continue
+			}
+			switch rng.Intn(5) {
+			case 0:
+				// Destination died between issue and settle: abort.
+				pl.Abort(j)
+				if j.Reserved {
+					t.Fatalf("seed %d: reservation survived Abort", seed)
+				}
+				if j.Step != StepWrite {
+					t.Fatalf("seed %d: Abort changed step to %d", seed, j.Step)
+				}
+			case 1:
+				// The whole tape died mid-write: mark it down, then abort.
+				jk.down[dst.Tape] = true
+				pl.NoteTapeFail(dst.Tape, now)
+				pl.Abort(j)
+			default:
+				if _, err := pl.Commit(j, now); err != nil {
+					t.Fatalf("seed %d: Commit: %v", seed, err)
+				}
+				if err := jk.lay.Validate(); err != nil {
+					t.Fatalf("seed %d: Validate after commit: %v", seed, err)
+				}
+			}
+		}
+		checkMonotone()
+	}
+
+	// Drain: run every remaining job to completion or cancellation.
+	for guard := 0; pl.Active() > 0 && guard < 10*blocks; guard++ {
+		j := pl.Ranked(now)[0]
+		now++
+		_, st := pl.PickSource(j, nil)
+		switch st {
+		case SrcGone, SrcDone:
+			pl.Cancel(j)
+			continue
+		case SrcOK:
+		}
+		if j.Step == StepRead {
+			pl.FinishRead(j)
+		}
+		if _, ok := pl.ChooseDest(j, func(tp int) bool { return !jk.down[tp] }); !ok {
+			pl.Cancel(j) // no feasible destination remains
+			continue
+		}
+		if _, err := pl.Commit(j, now); err != nil {
+			t.Fatalf("seed %d: drain Commit: %v", seed, err)
+		}
+	}
+	for _, j := range pl.Ranked(now) {
+		pl.Cancel(j)
+	}
+	if pl.ReservedCount() != 0 {
+		t.Fatalf("seed %d: %d reservations leaked after drain", seed, pl.ReservedCount())
+	}
+	if pl.Active() != 0 {
+		t.Fatalf("seed %d: %d jobs leaked after drain", seed, pl.Active())
+	}
+	if err := jk.lay.Validate(); err != nil {
+		t.Fatalf("seed %d: final Validate: %v", seed, err)
+	}
+}
+
+// TestKillResumeSeeded runs the kill/resume scenario across 600 seeds,
+// covering the >= 500 interruption cases the acceptance criteria require.
+func TestKillResumeSeeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fuzz loop")
+	}
+	for seed := int64(0); seed < 600; seed++ {
+		killResumeCase(t, seed)
+	}
+}
+
+func FuzzKillResume(f *testing.F) {
+	for s := int64(0); s < 8; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		killResumeCase(t, seed)
+	})
+}

@@ -227,6 +227,20 @@ type Scheduler interface {
 	OnArrival(st *State, r *Request) bool
 }
 
+// CopyObserver is implemented by schedulers whose incremental state
+// depends on the replica tables. The repair subsystem mutates the layout
+// at run time -- minting a copy when a repair write settles, removing one
+// at reclaim -- and notifies every drive's scheduler so state built from
+// the tables (the envelope) can adjust mid-sweep instead of waiting for
+// the next major reschedule. Schedulers that recompute from the live
+// layout on every decision need not implement it.
+type CopyObserver interface {
+	// OnCopyAdded reports a newly minted copy of block b at c.
+	OnCopyAdded(st *State, b layout.BlockID, c layout.Replica)
+	// OnCopyRemoved reports that block b's copy at c left the tables.
+	OnCopyRemoved(st *State, b layout.BlockID, c layout.Replica)
+}
+
 // RunResetter is implemented by schedulers that carry state across
 // reschedules within one run and can restore their just-constructed
 // observable state while keeping allocated scratch. A session runner may

@@ -132,6 +132,13 @@ type Config struct {
 	// AgeWeight enables starvation-aware aging in every scheduler's tape
 	// selection (see sched.Shared.AgeWeight). Zero disables it.
 	AgeWeight float64
+
+	// Repair configures self-healing replication: background jobs that
+	// rebuild lost replicas (and optionally promote hot blocks and reclaim
+	// cold excess copies) during drive idle time. The zero value disables
+	// the subsystem, leaving the event stream bit-identical to a build
+	// without it.
+	Repair RepairConfig
 }
 
 // ConfigError is a typed validation error for the overload-robustness
@@ -314,7 +321,10 @@ func (c *Config) Validate() error {
 	if c.Faults.Enabled() && c.WriteMeanInterarrival > 0 {
 		return errors.New("sim: the fault model does not cover the write extension")
 	}
-	return c.validateOverload()
+	if err := c.validateOverload(); err != nil {
+		return err
+	}
+	return c.validateRepair()
 }
 
 // validateOverload checks the overload-robustness surface, reporting typed
@@ -448,6 +458,13 @@ type Result struct {
 	MaxQueueAgeSec   float64 // oldest age a pending request reached before service, expiry, or shedding (post-warmup)
 	TruncatedSweeps  int64   // sweeps cut to the most urgent MaxSweep requests while overloaded
 	DeferredFlushes  int64   // piggyback/idle delta flushes skipped while overloaded
+
+	// Self-healing replication (all zero when Repair is disabled).
+	RepairJobs          int64   // repair jobs enqueued (loss-driven and promotions)
+	RepairedCopies      int64   // new copies minted by completed repair jobs
+	ReclaimedCopies     int64   // cold excess copies reclaimed
+	RepairSeconds       float64 // drive time spent on repair reads and writes
+	MeanTimeToRepairSec float64 // mean loss-discovery-to-commit latency of minted copies
 }
 
 // EffectiveOfStreaming returns throughput as a fraction of the drive's

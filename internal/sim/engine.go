@@ -84,6 +84,7 @@ type engine struct {
 	writes *writeState    // write-model extension, nil when disabled
 	flt    *faultState    // fault-model extension, nil when disabled
 	ovl    *overloadState // overload-robustness extension, nil when disabled
+	rep    *repairState   // self-healing replication extension, nil when disabled
 }
 
 // newEngine assembles one run's state. sess, when non-nil, supplies cached
@@ -122,9 +123,11 @@ func newEngine(cfg Config, sess *Session) (*engine, error) {
 	}
 	var lay *layout.Layout
 	var err error
-	if sess != nil {
+	if sess != nil && !cfg.Repair.Enabled() {
 		lay, err = sess.cachedLayout(layCfg)
 	} else {
+		// Repair mutates the layout in place, so a run with it enabled
+		// must own a fresh instance rather than the session-shared one.
 		lay, err = layout.Build(layCfg)
 	}
 	if err != nil {
@@ -237,6 +240,7 @@ func newEngine(cfg Config, sess *Session) (*engine, error) {
 	if err := e.initOverload(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	e.initRepair()
 	// Seed the system: closed models start with the full queue present;
 	// open models schedule their first Poisson arrival.
 	for i := 0; i < arr.InitialCount(); i++ {
@@ -327,6 +331,9 @@ func (e *engine) deliver(r *sched.Request) {
 func (e *engine) complete(r *sched.Request) {
 	e.totalDone++
 	e.outstanding--
+	if e.rep != nil {
+		e.rep.heat.Touch(int(r.Block), e.now)
+	}
 	if e.now > e.warmupEnd {
 		e.completed++
 		rt := e.now - r.Arrival
@@ -399,5 +406,6 @@ func (e *engine) result() *Result {
 	}
 	e.faultResult(res)
 	e.overloadResult(res)
+	e.repairResult(res)
 	return res
 }

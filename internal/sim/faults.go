@@ -14,6 +14,7 @@ import (
 type faultState struct {
 	inj       *faults.Injector
 	down      []bool // shared with Shared.Down: tapes discovered failed
+	upTapes   int    // tapes not yet discovered failed: len(down) minus set bits
 	maskDirty bool   // a copy or tape was lost since the last pending scan
 
 	retries    int64
@@ -29,14 +30,11 @@ type faultState struct {
 	recovery   stats.Accumulator
 }
 
-// anyTapeUp reports whether at least one tape has not failed.
+// anyTapeUp reports whether at least one tape has not failed. The counter
+// is maintained by markTapeDown, keeping this O(1) on the delivery path
+// instead of an O(tapes) scan per call.
 func (f *faultState) anyTapeUp() bool {
-	for _, d := range f.down {
-		if !d {
-			return true
-		}
-	}
-	return false
+	return f.upTapes > 0
 }
 
 // initFaults wires the fault injector into the engine when any fault class
@@ -58,8 +56,9 @@ func (e *engine) initFaults(capBlocks int) error {
 		return err
 	}
 	e.flt = &faultState{
-		inj:  inj,
-		down: make([]bool, e.cfg.Tapes),
+		inj:     inj,
+		down:    make([]bool, e.cfg.Tapes),
+		upTapes: e.cfg.Tapes,
 		// Injected bad ranges may leave initially seeded requests with no
 		// readable copy; the first pending scan must abandon those.
 		maskDirty: inj.InjectedBadBlocks() > 0,
@@ -118,8 +117,12 @@ func (e *engine) markTapeDown(tape int) {
 		return
 	}
 	e.flt.down[tape] = true
+	e.flt.upTapes--
 	e.flt.maskDirty = true
 	e.push(Event{Kind: EventTapeFail, Time: e.now, Tape: tape, Pos: -1})
+	if e.rep != nil {
+		e.rep.pl.NoteTapeFail(tape, e.now)
+	}
 }
 
 // requeueFaulted returns a request whose chosen copy was lost to the
@@ -129,7 +132,9 @@ func (e *engine) markTapeDown(tape int) {
 func (e *engine) requeueFaulted(r *sched.Request) {
 	if r.Expired {
 		// The request expired while its fault was in limbo between issue and
-		// settle; it was counted and removed at expiry time.
+		// settle; it was counted at expiry time, and expireOne deferred the
+		// recycling to us because the drive still referenced it until now.
+		e.freeRequest(r)
 		return
 	}
 	if r.FaultedAt == 0 {
@@ -231,6 +236,9 @@ func (e *engine) resolveFaultyRead(d int, r *sched.Request) {
 			f.inj.MarkDead(tape, pos)
 			f.maskDirty = true
 			f.permanent++
+			if e.rep != nil {
+				e.rep.pl.NoteCopyDead(tape, pos, e.now)
+			}
 			dr.faulted = r
 			e.beginOp(d, vt, true)
 			return

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"tapejuke/internal/repair"
 	"tapejuke/internal/sched"
 )
 
@@ -39,6 +40,10 @@ type drive struct {
 	abort    []*sched.Request // requests to requeue at freeAt
 	failTape int              // tape to mask at freeAt, -1 none
 	loadFail bool             // failure was a load: unmount and release busy
+
+	// repairJob, when set, is a background repair write whose new copy is
+	// minted at freeAt: other drives must not see it before the write lands.
+	repairJob *repair.Job
 }
 
 // multiAudit, set by tests, verifies busy-vector/mount consistency at every
@@ -205,6 +210,10 @@ func (e *engine) settle(d int) bool {
 		dr.inFlight = nil
 		e.complete(r)
 	}
+	if j := dr.repairJob; j != nil {
+		dr.repairJob = nil
+		e.commitRepair(j)
+	}
 	return pumpAfter
 }
 
@@ -247,7 +256,13 @@ func (e *engine) issue(d int) error {
 		e.dropUnserviceable()
 	}
 	if len(e.sh.Pending) == 0 {
-		e.idleFlushOp(d)
+		// The drive would otherwise go idle: flush buffered writes first,
+		// then give the slack to background repair. Repair runs one job
+		// step per operation, so a real request arriving preempts a job at
+		// the next issue with its progress intact.
+		if !e.idleFlushOp(d) {
+			e.idleRepairOp(d)
+		}
 		return nil
 	}
 	tape, sweep, ok := dr.schd.Reschedule(st)

@@ -37,6 +37,16 @@ const (
 	// EventReject: an arriving request was turned away by the reject
 	// admission policy (it never entered the system's queue).
 	EventReject
+	// EventRepairRead: a background repair job read a surviving copy of
+	// its block (Request is the repair job ID).
+	EventRepairRead
+	// EventRepairWrite: a background repair job wrote (minted) a new copy
+	// at (Tape, Pos); the copy enters the replica tables when the write
+	// settles (Request is the repair job ID).
+	EventRepairWrite
+	// EventReclaim: a cold excess copy at (Tape, Pos) was reclaimed
+	// (metadata-only: the copy leaves the replica tables).
+	EventReclaim
 )
 
 // String names the event kind.
@@ -66,6 +76,12 @@ func (k EventKind) String() string {
 		return "shed"
 	case EventReject:
 		return "reject"
+	case EventRepairRead:
+		return "repair-read"
+	case EventRepairWrite:
+		return "repair-write"
+	case EventReclaim:
+		return "reclaim"
 	}
 	return "unknown"
 }

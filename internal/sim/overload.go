@@ -215,6 +215,28 @@ func (e *engine) inFlightReq(r *sched.Request) bool {
 	return false
 }
 
+// faultLimboReq reports whether some drive still references r in a fault
+// limbo -- parked as the drive's permanently faulted read or on its
+// aborted-sweep list -- between the issue that discovered the fault and the
+// settle that will requeue it.
+func (e *engine) faultLimboReq(r *sched.Request) bool {
+	if e.flt == nil {
+		return false
+	}
+	for i := range e.drives {
+		dr := &e.drives[i]
+		if dr.faulted == r {
+			return true
+		}
+		for _, q := range dr.abort {
+			if q == r {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // expireOne cancels one request at its deadline: removes it from the
 // pending list or its sweep (telling an evictor scheduler), counts the
 // expiry, and -- in the closed model -- respawns the process's next request
@@ -243,7 +265,14 @@ func (e *engine) expireOne(r *sched.Request) {
 	}
 	e.push(Event{Kind: EventExpire, Time: e.now, Tape: -1, Pos: -1, Request: r.ID})
 	respawn := e.arr.Closed() && !r.Ephemeral
-	e.freeRequest(r)
+	// A request expiring while a drive holds it in fault limbo must not be
+	// recycled yet: the drive's settle still dereferences it, and a reused
+	// struct would alias a live request (requeueFaulted would then push the
+	// new occupant into the pending list a second time). requeueFaulted
+	// sees Expired at settle and frees it there instead.
+	if !e.faultLimboReq(r) {
+		e.freeRequest(r)
+	}
 	if respawn {
 		e.deliver(e.newRequest(e.now))
 	}

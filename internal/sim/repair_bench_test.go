@@ -1,0 +1,23 @@
+package sim
+
+import "testing"
+
+// BenchmarkFaultRepairIdle measures the repair-enabled faulty open run:
+// the idle branch runs the planner's rotating scan and job steps between
+// arrivals, tapes fail, and lost replicas are rebuilt. Tracked in
+// BENCH_sched.json via scripts/bench.sh.
+func BenchmarkFaultRepairIdle(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := openRepairCfg(2)
+		cfg.Horizon = 500_000
+		cfg.Repair = RepairConfig{Enable: true}
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RepairedCopies == 0 {
+			b.Fatal("benchmark run repaired nothing")
+		}
+	}
+}

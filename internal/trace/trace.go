@@ -100,9 +100,14 @@ type Summary struct {
 	Sheds      int64 // requests shed by admission overflow
 	Rejects    int64 // arrivals rejected by admission overflow
 
+	RepairReads  int64 // repair-job source reads (repair extension)
+	RepairWrites int64 // repair-job copy writes
+	Reclaims     int64 // excess replicas reclaimed
+
 	Span            float64 // last event time
 	ReadSeconds     float64 // total time inside read operations (locate+transfer)
 	SwitchSeconds   float64
+	RepairSeconds   float64 // time inside repair reads and writes
 	IdleSeconds     float64
 	MeanSweepLen    float64 // reads per tape visit
 	MeanSwitchGap   float64 // seconds between consecutive switches
@@ -155,6 +160,14 @@ func Summarize(recs []Record) *Summary {
 			s.Sheds++
 		case "reject":
 			s.Rejects++
+		case "repair-read":
+			s.RepairReads++
+			s.RepairSeconds += r.Seconds
+		case "repair-write":
+			s.RepairWrites++
+			s.RepairSeconds += r.Seconds
+		case "reclaim":
+			s.Reclaims++
 		}
 	}
 	if readsSinceSwitch > 0 {
@@ -196,6 +209,10 @@ func (s *Summary) Format(w io.Writer) {
 	}
 	if s.Expires+s.Sheds+s.Rejects > 0 {
 		fmt.Fprintf(w, "overload          %d expired, %d shed, %d rejected\n", s.Expires, s.Sheds, s.Rejects)
+	}
+	if s.RepairReads+s.RepairWrites+s.Reclaims > 0 {
+		fmt.Fprintf(w, "repair            %d reads, %d writes, %d reclaims (%.0f s)\n",
+			s.RepairReads, s.RepairWrites, s.Reclaims, s.RepairSeconds)
 	}
 	if s.BusiestTape >= 0 {
 		fmt.Fprintf(w, "busiest tape      %d (%.0f%% of reads)\n", s.BusiestTape, 100*s.BusiestTapeFrac)

@@ -33,14 +33,24 @@ func (r *VerifyReport) OK() bool { return r.Mismatches == 0 }
 // ("fault" at position -1) consumes a switch without moving the deck; a
 // "tape-fail" on an unmounted tape marks the end of a failed load (the
 // drive ends empty), while one on the mounted tape leaves the dead tape in
-// the drive. Repair, idle, completion, and unserviceable records carry no
-// drive geometry and are skipped.
+// the drive. Drive repair, idle, completion, and unserviceable records
+// carry no drive geometry and are skipped.
 //
 // Overload-extension records replay consistently too: "expire" and "shed"
 // records cancel their request, and a later read, fault, or completion
 // referencing a cancelled request fails verification (an altered trace
 // cannot resurrect a request it already cancelled); "reject" records carry
 // no request and are skipped.
+//
+// Repair-extension records replay like reads: "repair-read" and
+// "repair-write" move the head through their target with the same locate
+// and transfer mechanics, and their Request field carries the repair job
+// ID. A tampered repair trace fails verification: a repair-write without a
+// prior repair-read of the same job (the copy must come from a surviving
+// copy), a second repair-write for a job that already completed, a
+// repair-read from a tape the trace already declared failed, or a read of
+// a (tape, position) the trace reclaimed without an intervening
+// repair-write there (a reclaimed copy cannot serve requests).
 //
 // Traces containing write-flush events are rejected (the flush path moves
 // the head through delta-log positions outside the replayed geometry), as
@@ -71,6 +81,11 @@ func Verify(recs []Record, prof tapemodel.Positioner, blockMB float64, tapes, ca
 		}
 	}
 	cancelled := make(map[int64]string) // request ID -> how it left the system
+	failedTapes := make(map[int]bool)   // tapes the trace declared dead
+	repairRead := make(map[int64]bool)  // repair jobs whose source read landed
+	repairDone := make(map[int64]bool)  // repair jobs whose copy write landed
+	reclaimed := make(map[[2]int]bool)  // (tape, pos) holding no data since reclaim
+	packTP := func(t, p int) [2]int { return [2]int{t, p} }
 	for i, r := range recs {
 		if r.Request != 0 {
 			switch r.Kind {
@@ -102,6 +117,10 @@ func Verify(recs []Record, prof tapemodel.Positioner, blockMB float64, tapes, ca
 				return nil, fmt.Errorf("trace: record %d reads tape %d but tape %d is mounted (multi-drive trace?)",
 					i, r.Tape, deck.Mounted())
 			}
+			if reclaimed[packTP(r.Tape, r.Pos)] {
+				return nil, fmt.Errorf("trace: record %d reads tape %d pos %d, reclaimed with no copy written since",
+					i, r.Tape, r.Pos)
+			}
 			got, err := deck.ReadBlock(r.Pos)
 			if err != nil {
 				return nil, fmt.Errorf("trace: record %d: %w", i, err)
@@ -126,6 +145,10 @@ func Verify(recs []Record, prof tapemodel.Positioner, blockMB float64, tapes, ca
 				return nil, fmt.Errorf("trace: record %d faults on tape %d but tape %d is mounted (multi-drive trace?)",
 					i, r.Tape, deck.Mounted())
 			}
+			if reclaimed[packTP(r.Tape, r.Pos)] {
+				return nil, fmt.Errorf("trace: record %d faults on tape %d pos %d, reclaimed with no copy written since",
+					i, r.Tape, r.Pos)
+			}
 			got, err := deck.ReadBlock(r.Pos)
 			if err != nil {
 				return nil, fmt.Errorf("trace: record %d: %w", i, err)
@@ -133,12 +156,60 @@ func Verify(recs []Record, prof tapemodel.Positioner, blockMB float64, tapes, ca
 			rep.Operations++
 			note(i, "fault-read", got, r.Seconds)
 		case "tape-fail":
+			failedTapes[r.Tape] = true
 			if deck.Mounted() != r.Tape {
 				// The death was discovered at load: the cartridge never
 				// mounted and the drive ends empty. (A death discovered
 				// mid-read leaves the dead tape in the drive.)
 				deck.Unload()
 			}
+		case "repair-read":
+			if failedTapes[r.Tape] {
+				return nil, fmt.Errorf("trace: record %d repair-reads tape %d after its failure (job %d)",
+					i, r.Tape, r.Request)
+			}
+			if repairRead[r.Request] {
+				return nil, fmt.Errorf("trace: record %d repeats the source read of repair job %d", i, r.Request)
+			}
+			if deck.Mounted() != r.Tape {
+				return nil, fmt.Errorf("trace: record %d repair-reads tape %d but tape %d is mounted (multi-drive trace?)",
+					i, r.Tape, deck.Mounted())
+			}
+			if reclaimed[packTP(r.Tape, r.Pos)] {
+				return nil, fmt.Errorf("trace: record %d repair-reads tape %d pos %d, reclaimed with no copy written since",
+					i, r.Tape, r.Pos)
+			}
+			got, err := deck.ReadBlock(r.Pos)
+			if err != nil {
+				return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			}
+			repairRead[r.Request] = true
+			rep.Operations++
+			note(i, "repair-read", got, r.Seconds)
+		case "repair-write":
+			if !repairRead[r.Request] {
+				return nil, fmt.Errorf("trace: record %d writes repair job %d's copy with no surviving-copy read before it",
+					i, r.Request)
+			}
+			if repairDone[r.Request] {
+				return nil, fmt.Errorf("trace: record %d completes repair job %d a second time", i, r.Request)
+			}
+			if deck.Mounted() != r.Tape {
+				return nil, fmt.Errorf("trace: record %d repair-writes tape %d but tape %d is mounted (multi-drive trace?)",
+					i, r.Tape, deck.Mounted())
+			}
+			got, err := deck.ReadBlock(r.Pos)
+			if err != nil {
+				return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			}
+			repairDone[r.Request] = true
+			delete(reclaimed, packTP(r.Tape, r.Pos))
+			rep.Operations++
+			note(i, "repair-write", got, r.Seconds)
+		case "reclaim":
+			// Metadata-only: no drive motion, but the slot holds no data
+			// until a later repair-write refills it.
+			reclaimed[packTP(r.Tape, r.Pos)] = true
 		}
 	}
 	return rep, nil

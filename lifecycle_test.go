@@ -1,0 +1,90 @@
+package tapejuke
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPlanGradualFillEdges covers the error and boundary paths of the
+// public gradual-fill planner that TestPlanGradualFill's happy-path walk
+// does not reach: errors propagated from the internal planner, the
+// partial-replication stage, and the not-quite-full recapture edge.
+func TestPlanGradualFillEdges(t *testing.T) {
+	const capacityMB = 10 * 7168.0
+
+	t.Run("data exceeds capacity", func(t *testing.T) {
+		cfg := Config{DataMB: capacityMB + 16}
+		if _, _, err := PlanGradualFill(cfg); err == nil {
+			t.Error("overfull jukebox accepted")
+		} else if !strings.Contains(err.Error(), "fit") {
+			t.Errorf("unexpected overfull error: %v", err)
+		}
+	})
+
+	t.Run("single tape", func(t *testing.T) {
+		// WithDefaults only replaces a zero tape count, so one tape
+		// reaches the internal planner and must be rejected there.
+		cfg := Config{Tapes: 1, DataMB: 1000}
+		if _, _, err := PlanGradualFill(cfg); err == nil {
+			t.Error("single-tape jukebox accepted")
+		}
+	})
+
+	t.Run("hot percent out of range", func(t *testing.T) {
+		for _, ph := range []float64{-5, 150} {
+			cfg := Config{DataMB: 1000, HotPercent: ph}
+			if _, _, err := PlanGradualFill(cfg); err == nil {
+				t.Errorf("hot percent %v accepted", ph)
+			}
+		}
+	})
+
+	t.Run("partial stage", func(t *testing.T) {
+		// 90% full: spare covers one replica set of the 10%-hot data but
+		// nowhere near full replication.
+		cfg := Config{DataMB: 0.9 * capacityMB}
+		planned, plan, err := PlanGradualFill(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Stage != FillPartial {
+			t.Errorf("90%% fill stage = %v, want partial", plan.Stage)
+		}
+		if plan.Replicas < 1 || plan.Replicas >= 9 {
+			t.Errorf("90%% fill replicas = %d, want partial replication", plan.Replicas)
+		}
+		if planned.Replicas != plan.Replicas || !planned.PackAfterData {
+			t.Errorf("partial config not materialized: %+v", planned)
+		}
+		if plan.Fill <= 0.8 || plan.Fill > 0.95 {
+			t.Errorf("reported fill %v inconsistent with 90%% occupancy", plan.Fill)
+		}
+		if plan.Rationale == "" {
+			t.Error("partial plan carries no rationale")
+		}
+		planned.HorizonSec = 50_000
+		if _, err := Run(planned); err != nil {
+			t.Errorf("partial-stage config does not run: %v", err)
+		}
+	})
+
+	t.Run("recapture before completely full", func(t *testing.T) {
+		// 97% full: spare capacity exists but no longer holds a whole
+		// replica set, so the procedure falls back to recapture with hot
+		// data at the tape beginnings.
+		cfg := Config{DataMB: 0.97 * capacityMB}
+		planned, plan, err := PlanGradualFill(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Stage != FillRecapture || plan.Replicas != 0 {
+			t.Errorf("97%% fill plan: %+v", plan)
+		}
+		if planned.Replicas != 0 || planned.PackAfterData || planned.StartPos != 0 {
+			t.Errorf("recapture config not materialized: %+v", planned)
+		}
+		if planned.Placement != Horizontal {
+			t.Errorf("recapture placement = %v, want horizontal", planned.Placement)
+		}
+	})
+}

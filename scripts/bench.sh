@@ -25,6 +25,9 @@ go test -run '^$' \
 go test -run '^$' \
     -bench 'BenchmarkUpperEnvelope|BenchmarkEnvelopeReschedule|BenchmarkEnvelopeOnArrival' \
     -benchmem -benchtime 1s ./internal/core | tee -a "$tmp"
+go test -run '^$' \
+    -bench 'BenchmarkFaultRepairIdle' \
+    -benchmem -benchtime 1s ./internal/sim | tee -a "$tmp"
 
 # Tracked pair for the experiment engine: BenchmarkFullRun above measures
 # one warm-context run; this measures the real `figures -full` wall time

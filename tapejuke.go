@@ -147,6 +147,10 @@ type Config struct {
 	Degrade   DegradeConfig
 	AgeWeight float64
 
+	// Repair enables the self-healing replication extension; see
+	// RepairConfig.
+	Repair RepairConfig
+
 	// Observer, when non-nil, receives every simulator event inline. It is
 	// excluded from JSON serialization (live hook, not configuration).
 	Observer Observer `json:"-"`
@@ -270,6 +274,7 @@ func (c Config) toSim() (*sim.Config, error) {
 		Burst:            c.Burst,
 		Degrade:          c.Degrade,
 		AgeWeight:        c.AgeWeight,
+		Repair:           c.Repair,
 	}
 	if err := c.Writes.toSim(sc); err != nil {
 		return nil, err
