@@ -28,6 +28,55 @@ func main() {
 	os.Exit(run())
 }
 
+// usage prints the flag help grouped into labeled sections, so each
+// extension's flags read as a unit instead of one alphabetical wall.
+func usage() {
+	out := flag.CommandLine.Output()
+	sections := []struct {
+		title    string
+		prefixes []string
+	}{
+		{"Workload, scheduling, and output", nil}, // everything unclaimed
+		{"Delta writes", []string{"write-"}},
+		{"Fault injection", []string{"fault-"}},
+		{"Overload handling", []string{"deadline-", "admit-", "burst-", "degrade-", "age-weight"}},
+		{"Self-healing repair", []string{"repair"}},
+		{"Media health", []string{"health", "scrub-"}},
+	}
+	claim := func(name string) int {
+		for i := 1; i < len(sections); i++ {
+			for _, p := range sections[i].prefixes {
+				if name == strings.TrimSuffix(p, "-") || strings.HasPrefix(name, strings.TrimSuffix(p, "-")+"-") {
+					return i
+				}
+			}
+		}
+		return 0
+	}
+	grouped := make([][]*flag.Flag, len(sections))
+	flag.VisitAll(func(f *flag.Flag) {
+		i := claim(f.Name)
+		grouped[i] = append(grouped[i], f)
+	})
+	fmt.Fprintln(out, "Usage: jukesim [flags]")
+	for i, sec := range sections {
+		if len(grouped[i]) == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "\n%s:\n", sec.title)
+		for _, f := range grouped[i] {
+			name, help := flag.UnquoteUsage(f)
+			if name != "" {
+				name = " " + name
+			}
+			if f.DefValue != "" && f.DefValue != "0" && f.DefValue != "false" {
+				help += fmt.Sprintf(" (default %s)", f.DefValue)
+			}
+			fmt.Fprintf(out, "  -%s%s\n    \t%s\n", f.Name, name, help)
+		}
+	}
+}
+
 // startCPUProfile begins CPU profiling into path and returns the stop
 // function, or an error. The caller must defer the stop.
 func startCPUProfile(path string) (func(), error) {
@@ -88,6 +137,8 @@ func run() int {
 		driveMTBF   = flag.Float64("fault-drive-mtbf", 0, "mean seconds between drive failures (0 = never)")
 		driveRepair = flag.Float64("fault-drive-repair", 0, "drive repair downtime seconds (default 3600 when enabled)")
 		switchFail  = flag.Float64("fault-switch", 0, "tape load failure probability per attempt")
+		latentPer   = flag.Float64("fault-latent", 0, "expected latent errors per tape (silent until read)")
+		latentOnset = flag.Float64("fault-latent-onset", 0, "mean latent-error onset seconds (default 500000)")
 		faultSeed   = flag.Int64("fault-seed", 0, "fault stream seed (0 = derive from -seed)")
 		hotTTL      = flag.Float64("deadline-hot-ttl", 0, "mean TTL seconds for hot-block requests (0 = no deadline)")
 		coldTTL     = flag.Float64("deadline-cold-ttl", 0, "mean TTL seconds for cold-block requests (0 = no deadline)")
@@ -110,6 +161,14 @@ func run() int {
 		repairRecl  = flag.Float64("repair-reclaim", 0, "heat below which excess copies are reclaimed (0 = off)")
 		repairMax   = flag.Int("repair-max-copies", 0, "cap on copies per block under promotion (default NR+1)")
 		repairScan  = flag.Int("repair-scan-rate", 0, "blocks examined per idle scan (default 64)")
+		healthOn    = flag.Bool("health", false, "proactive media health: scrubbing, scoring, evacuation, fencing")
+		scrubRate   = flag.Int("scrub-rate", 0, "block positions patrolled per idle scrub op (0 = no scrubbing)")
+		healthHL    = flag.Float64("health-half-life", 0, "error-score decay half-life seconds (default 100000)")
+		healthWear  = flag.Float64("health-wear", 0, "wear hazard added to a tape's score per mount (0 = off)")
+		healthSusp  = flag.Float64("health-suspect", 0, "score above which a tape is marked suspect (0 = off)")
+		healthEvac  = flag.Bool("health-evacuate", false, "drain suspect tapes through the repair machinery")
+		healthFence = flag.Float64("health-fence", 0, "score above which a drive is fenced for maintenance (0 = off)")
+		healthMaint = flag.Float64("health-maintenance", 0, "fenced-drive maintenance seconds (default 3600)")
 		format      = flag.String("format", "text", "output format: text or csv")
 		analytic    = flag.Bool("analytic", false, "also print the closed-form estimate (no-replication closed models)")
 		configPath  = flag.String("config", "", "load the full configuration from a JSON file (other workload flags are ignored)")
@@ -117,6 +176,7 @@ func run() int {
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -175,13 +235,15 @@ func run() int {
 			Policy:              tapejuke.WritePolicy(*writePolicy),
 		},
 		Faults: tapejuke.FaultConfig{
-			ReadTransientProb: *transient,
-			BadBlocksPerTape:  *badBlocks,
-			TapeMTBFSec:       *tapeMTBF,
-			DriveMTBFSec:      *driveMTBF,
-			DriveRepairSec:    *driveRepair,
-			SwitchFailProb:    *switchFail,
-			Seed:              *faultSeed,
+			ReadTransientProb:   *transient,
+			BadBlocksPerTape:    *badBlocks,
+			TapeMTBFSec:         *tapeMTBF,
+			DriveMTBFSec:        *driveMTBF,
+			DriveRepairSec:      *driveRepair,
+			SwitchFailProb:      *switchFail,
+			LatentErrorsPerTape: *latentPer,
+			LatentMeanOnsetSec:  *latentOnset,
+			Seed:                *faultSeed,
 		},
 		Deadlines: tapejuke.DeadlineConfig{
 			HotTTL:  *hotTTL,
@@ -207,6 +269,16 @@ func run() int {
 			ReclaimHeat: *repairRecl,
 			MaxCopies:   *repairMax,
 			ScanRate:    *repairScan,
+		},
+		Health: tapejuke.HealthConfig{
+			Enable:          *healthOn,
+			ScrubRate:       *scrubRate,
+			ErrHalfLifeSec:  *healthHL,
+			WearWeight:      *healthWear,
+			SuspectScore:    *healthSusp,
+			Evacuate:        *healthEvac,
+			DriveFenceScore: *healthFence,
+			MaintenanceSec:  *healthMaint,
 		},
 		Degrade: tapejuke.DegradeConfig{
 			QueueThreshold: *degradeQ,
@@ -300,6 +372,10 @@ func run() int {
 				res.TapeFailures, res.DriveFailures, res.DriveRepairSeconds)
 			fmt.Printf("availability         %.4f (%d unserviceable, %d rerouted, mean recovery %.1f s)\n",
 				res.Availability, res.Unserviceable, res.Rerouted, res.MeanRecoverySec)
+			if cfg.Faults.LatentErrorsPerTape > 0 {
+				fmt.Printf("latent errors        %d injected, %d found, mean time to detect %.0f s\n",
+					res.LatentErrorsInjected, res.LatentErrorsFound, res.MeanTimeToDetectSec)
+			}
 		}
 		if cfg.Deadlines.Enabled() {
 			fmt.Printf("deadlines            %d expired, %d late completions, miss rate %.4f\n",
@@ -320,6 +396,12 @@ func run() int {
 			fmt.Printf("repair               %d jobs, %d copies rebuilt, %d reclaimed (%.0f s drive time)\n",
 				res.RepairJobs, res.RepairedCopies, res.ReclaimedCopies, res.RepairSeconds)
 			fmt.Printf("mean time to repair  %.0f s\n", res.MeanTimeToRepairSec)
+		}
+		if cfg.Health.Enabled() {
+			fmt.Printf("health               %.0f MB scrubbed (%.0f s), %d latent found by scrub\n",
+				res.ScrubbedMB, res.ScrubSeconds, res.LatentFoundByScrub)
+			fmt.Printf("media                %d suspect tapes, %d evacuated (%d jobs, %d copies moved), %d drives fenced\n",
+				res.SuspectTapes, res.EvacuatedTapes, res.EvacuationJobs, res.EvacuatedCopies, res.FencedDrives)
 		}
 	}
 	return 0

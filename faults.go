@@ -42,6 +42,13 @@ type FaultConfig struct {
 	// SwitchFailProb is the probability that one tape load attempt fails,
 	// consuming the mechanical time before a retry.
 	SwitchFailProb float64
+	// LatentErrorsPerTape is the expected number of latent errors per tape:
+	// positions that silently go permanently unreadable at an exponentially
+	// distributed onset time and sit undetected until some read -- a user
+	// request, a repair source read, or a health-extension scrub -- touches
+	// them. LatentMeanOnsetSec is the mean onset time (default 500,000 s).
+	LatentErrorsPerTape float64
+	LatentMeanOnsetSec  float64
 
 	// MaxRetries, BackoffSec and BackoffFactor bound transient-error
 	// handling (defaults 3, 30 s, x2); exhaustion escalates the copy to
@@ -60,13 +67,15 @@ func (f FaultConfig) Enabled() bool { return f.toFaults().Enabled() }
 
 func (f FaultConfig) toFaults() faults.Config {
 	return faults.Config{
-		ReadTransientProb: f.ReadTransientProb,
-		BadBlocksPerTape:  f.BadBlocksPerTape,
-		BadBlockRangeLen:  f.BadBlockRangeLen,
-		TapeMTBFSec:       f.TapeMTBFSec,
-		DriveMTBFSec:      f.DriveMTBFSec,
-		DriveRepairSec:    f.DriveRepairSec,
-		SwitchFailProb:    f.SwitchFailProb,
+		ReadTransientProb:   f.ReadTransientProb,
+		BadBlocksPerTape:    f.BadBlocksPerTape,
+		BadBlockRangeLen:    f.BadBlockRangeLen,
+		TapeMTBFSec:         f.TapeMTBFSec,
+		DriveMTBFSec:        f.DriveMTBFSec,
+		DriveRepairSec:      f.DriveRepairSec,
+		SwitchFailProb:      f.SwitchFailProb,
+		LatentErrorsPerTape: f.LatentErrorsPerTape,
+		LatentMeanOnsetSec:  f.LatentMeanOnsetSec,
 		Retry: faults.RetryPolicy{
 			MaxRetries:    f.MaxRetries,
 			BackoffSec:    f.BackoffSec,

@@ -164,6 +164,80 @@ func planGradualFill(o Options) (plan, error) {
 // availability (post-warmup completed / (completed + unserviceable)).
 func Repair(o Options) (*Figure, error) { return runPlan(o, planRepair) }
 
+// Health studies the proactive media-health extension on top of repair:
+// availability and latent-error detection latency as a function of the
+// horizon under tape failures and developing latent errors, for repair
+// alone, repair plus idle-time scrubbing, and repair plus scrubbing plus
+// preemptive evacuation of suspect tapes. Each variant appears twice: the
+// "-avail" series carry availability in Row.Value and the "-mttd" series
+// carry the mean onset-to-detection latency (undetected latents censored at
+// the horizon), so longer horizons show scrubbing holding detection latency
+// down while pure repair only learns of a latent when a read trips it.
+func Health(o Options) (*Figure, error) { return runPlan(o, planHealth) }
+
+func planHealth(o Options) (plan, error) {
+	horizons := []float64{250_000, 500_000, 1_000_000, 1_500_000, 2_000_000}
+	variants := []struct {
+		label string
+		mut   func(*tapejuke.Config)
+	}{
+		{"repair", func(c *tapejuke.Config) {}},
+		{"scrub", func(c *tapejuke.Config) {
+			c.Health = tapejuke.HealthConfig{Enable: true, ScrubRate: 64}
+		}},
+		{"scrub-evac", func(c *tapejuke.Config) {
+			c.Health = tapejuke.HealthConfig{Enable: true, ScrubRate: 64,
+				SuspectScore: 3, Evacuate: true}
+		}},
+	}
+	metrics := []struct {
+		label string
+		value func(*tapejuke.Result) float64
+	}{
+		{"avail", func(r *tapejuke.Result) float64 { return r.Availability }},
+		{"mttd", func(r *tapejuke.Result) float64 { return r.MeanTimeToDetectSec }},
+	}
+	var jobs []job
+	for _, v := range variants {
+		for _, m := range metrics {
+			for _, h := range horizons {
+				// The same open uniform-heat workload as the repair figure,
+				// with latent errors developing alongside whole-tape deaths.
+				cfg := tapejuke.Config{
+					Algorithm:           tapejuke.EnvelopeMaxBandwidth,
+					HotPercent:          100,
+					ReadHotPercent:      100,
+					DataMB:              16_000,
+					Replicas:            2,
+					MeanInterarrivalSec: 300,
+					HorizonSec:          h,
+					Seed:                13 + o.Seed,
+					Faults: tapejuke.FaultConfig{
+						TapeMTBFSec:         1_200_000,
+						LatentErrorsPerTape: 2,
+						LatentMeanOnsetSec:  400_000,
+					},
+					Repair: tapejuke.RepairConfig{Enable: true},
+				}
+				v.mut(&cfg)
+				cfg = cfg.WithDefaults()
+				cfg.QueueLength = 0
+				jobs = append(jobs, job{series: v.label + "-" + m.label,
+					param: h, cfg: cfg, value: m.value})
+			}
+		}
+	}
+	return plan{jobs: jobs, finish: func(rows []Row) (*Figure, error) {
+		return &Figure{
+			ID:        "health",
+			Title:     "Extension: media-health scrubbing and evacuation under latent errors (PH-100 RH-100 NR-2, open model)",
+			ParamName: "horizon_s",
+			ValueName: "availability_or_mttd_s",
+			Rows:      rows,
+		}, nil
+	}}, nil
+}
+
 func planRepair(o Options) (plan, error) {
 	horizons := []float64{250_000, 500_000, 1_000_000, 1_500_000, 2_000_000}
 	avail := func(r *tapejuke.Result) float64 { return r.Availability }

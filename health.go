@@ -1,0 +1,33 @@
+package tapejuke
+
+import (
+	"tapejuke/internal/sim"
+)
+
+// Health-extension event kinds.
+const (
+	// EventScrubRead reports the background patrol verifying one live copy
+	// during drive idle time.
+	EventScrubRead = sim.EventScrubRead
+	// EventLatentFound reports the first detection of a latent error; the
+	// event's Seconds field carries the detection latency (how long the
+	// error sat on tape before a read touched it).
+	EventLatentFound = sim.EventLatentFound
+	// EventEvacuate reports one copy dropped from a suspect tape after its
+	// replacement committed elsewhere (metadata-only; no drive motion).
+	EventEvacuate = sim.EventEvacuate
+	// EventDriveFence reports a drive fenced out of scheduling for
+	// maintenance; the event's Seconds field carries the downtime.
+	EventDriveFence = sim.EventDriveFence
+)
+
+// HealthConfig enables the proactive media-health extension: a background
+// scrub scanner that patrols tape regions during drive idle time (finding
+// latent errors before a user read pays for the discovery), EWMA health
+// scoring of tapes and drives over the fault model's error observations,
+// preemptive evacuation of suspect tapes through the repair machinery, and
+// fencing of error-prone drives for simulated maintenance. The zero value
+// disables the extension entirely and the engine is bit-identical to the
+// health-free one; see the internal sim package mirror of this type for
+// field documentation.
+type HealthConfig = sim.HealthConfig

@@ -43,7 +43,20 @@ type Config struct {
 	BadBlocksPerTape float64
 	// BadBlockRangeLen is the maximum length, in blocks, of one bad range
 	// (each range draws a length in [1, BadBlockRangeLen]; default 4).
+	// Latent ranges (below) draw their lengths from the same bound.
 	BadBlockRangeLen int
+	// LatentErrorsPerTape is the expected number of latent bad-block ranges
+	// per tape (Poisson count, like BadBlocksPerTape). A latent range is
+	// placed at initialization but only becomes unreadable at its onset
+	// time; until some read -- a user request or a background scrub --
+	// touches it after onset, the error is undetected and the copy still
+	// looks live to the scheduler. The media-patrol literature calls these
+	// latent sector errors; they are what background scrubbing exists to
+	// catch.
+	LatentErrorsPerTape float64
+	// LatentMeanOnsetSec is the mean of the exponential onset-time draw for
+	// each latent range (default 500,000 s when latent errors are enabled).
+	LatentMeanOnsetSec float64
 	// TapeMTBFSec, when positive, gives each tape an exponentially
 	// distributed time to permanent failure with this mean.
 	TapeMTBFSec float64
@@ -107,7 +120,8 @@ func (p RetryPolicy) Delay(attempt int) float64 {
 // Enabled reports whether any fault class is active.
 func (c Config) Enabled() bool {
 	return c.ReadTransientProb > 0 || c.BadBlocksPerTape > 0 ||
-		c.TapeMTBFSec > 0 || c.DriveMTBFSec > 0 || c.SwitchFailProb > 0
+		c.TapeMTBFSec > 0 || c.DriveMTBFSec > 0 || c.SwitchFailProb > 0 ||
+		c.LatentErrorsPerTape > 0
 }
 
 // Validate reports the first configuration error.
@@ -123,6 +137,15 @@ func (c Config) Validate() error {
 	}
 	if c.BadBlockRangeLen < 0 {
 		return fmt.Errorf("faults: BadBlockRangeLen %d must be non-negative", c.BadBlockRangeLen)
+	}
+	if c.LatentErrorsPerTape < 0 {
+		return fmt.Errorf("faults: LatentErrorsPerTape %v must be non-negative", c.LatentErrorsPerTape)
+	}
+	if c.LatentMeanOnsetSec < 0 {
+		return fmt.Errorf("faults: LatentMeanOnsetSec %v must be non-negative", c.LatentMeanOnsetSec)
+	}
+	if c.LatentMeanOnsetSec > 0 && c.LatentErrorsPerTape == 0 {
+		return fmt.Errorf("faults: LatentMeanOnsetSec set without LatentErrorsPerTape")
 	}
 	if c.TapeMTBFSec < 0 {
 		return fmt.Errorf("faults: TapeMTBFSec %v must be non-negative", c.TapeMTBFSec)
@@ -185,6 +208,17 @@ type Injector struct {
 	bad         map[int64]bool // packed (tape,pos) of permanently dead copies
 	badInjected int            // bad blocks placed at initialization
 	tapeCap     int
+
+	latent  map[int64]float64 // packed (tape,pos) -> latent-error onset time
+	latents []Latent          // the same positions in deterministic draw order
+}
+
+// Latent is one latent bad-block position: physically unreadable from Onset
+// on, but undetected (and still targeted by schedulers) until a read first
+// touches it after onset.
+type Latent struct {
+	Tape, Pos int
+	Onset     float64
 }
 
 // New builds the injector for a jukebox of `tapes` tapes of tapeCapBlocks
@@ -235,6 +269,42 @@ func New(cfg Config, tapes, drives, tapeCapBlocks int) (*Injector, error) {
 						inj.bad[key] = true
 						inj.badInjected++
 					}
+				}
+			}
+		}
+	}
+	if cfg.LatentErrorsPerTape > 0 {
+		// Drawn after every other stream so enabling latent errors leaves
+		// the existing draws (and with them every pre-existing fault
+		// configuration) bit-identical.
+		if inj.cfg.LatentMeanOnsetSec == 0 {
+			inj.cfg.LatentMeanOnsetSec = 500_000
+		}
+		inj.latent = make(map[int64]float64)
+		for t := 0; t < tapes; t++ {
+			for n := poisson(inj.rng, cfg.LatentErrorsPerTape); n > 0; n-- {
+				start := inj.rng.Intn(tapeCapBlocks)
+				length := 1 + inj.rng.Intn(inj.cfg.BadBlockRangeLen)
+				onset := inj.rng.ExpFloat64() * inj.cfg.LatentMeanOnsetSec
+				for p := start; p < start+length && p < tapeCapBlocks; p++ {
+					key := packCopy(t, p)
+					if inj.bad[key] {
+						continue // already dead at birth: nothing latent about it
+					}
+					if prev, dup := inj.latent[key]; dup {
+						// Overlapping latent ranges: the earliest onset wins.
+						if onset < prev {
+							inj.latent[key] = onset
+							for i := range inj.latents {
+								if inj.latents[i].Tape == t && inj.latents[i].Pos == p {
+									inj.latents[i].Onset = onset
+								}
+							}
+						}
+						continue
+					}
+					inj.latent[key] = onset
+					inj.latents = append(inj.latents, Latent{Tape: t, Pos: p, Onset: onset})
 				}
 			}
 		}
@@ -298,9 +368,38 @@ func (i *Injector) CopyDead(tape, pos int) bool {
 }
 
 // MarkDead escalates the copy at (tape, pos) to permanently unreadable
-// (retry exhaustion).
+// (retry exhaustion, or a latent error's first detected read).
 func (i *Injector) MarkDead(tape, pos int) {
 	i.bad[packCopy(tape, pos)] = true
+}
+
+// InjectedLatentErrors returns the number of latent bad-block positions
+// placed at initialization.
+func (i *Injector) InjectedLatentErrors() int { return len(i.latents) }
+
+// Latents enumerates the injected latent errors in deterministic draw
+// order. The slice is the injector's own; callers must not mutate it.
+func (i *Injector) Latents() []Latent { return i.latents }
+
+// LatentActive reports whether (tape, pos) holds a latent error that has
+// developed (onset passed) but has not yet been detected: a read touching
+// it now fails permanently and should call MarkDead, which moves the
+// position from latent to detected-dead.
+func (i *Injector) LatentActive(tape, pos int, now float64) bool {
+	if len(i.latent) == 0 {
+		return false
+	}
+	key := packCopy(tape, pos)
+	onset, ok := i.latent[key]
+	return ok && now >= onset && !i.bad[key]
+}
+
+// LatentOnset returns the onset time of the latent error at (tape, pos),
+// if one was injected there -- the health signal the detection-latency
+// metric measures against.
+func (i *Injector) LatentOnset(tape, pos int) (float64, bool) {
+	onset, ok := i.latent[packCopy(tape, pos)]
+	return onset, ok
 }
 
 // ReadAttemptFails draws one transient-error trial for a block read

@@ -27,21 +27,45 @@ const (
 	SrcDone                  // the block already has its target number of live copies
 )
 
+// Kind distinguishes why a job exists. Both kinds run the same read/write
+// state machine; they differ only in what happens around it.
+type Kind uint8
+
+const (
+	// KindRepair restores a lost copy (or promotes a hot block). On commit
+	// the block is re-examined and a fresh job enqueued if still under
+	// target.
+	KindRepair Kind = iota
+	// KindEvacuate moves a copy off a suspect tape: mint one extra copy
+	// elsewhere first, then (engine-side, after the commit settles) remove
+	// the copy at From. Mint-before-remove means the block never drops
+	// below its pre-evacuation copy count, so an interrupted evacuation
+	// degrades to a no-op plus at most one spare copy.
+	KindEvacuate
+)
+
 // Job is one unit of re-replication work: mint exactly one new copy of
 // Block. Jobs are identified by a monotone ID so traces and the verifier
 // can match a write step to the read step that fed it.
 type Job struct {
 	ID    int64
+	Kind  Kind
 	Block layout.BlockID
 	At    float64 // enqueue time: when the copy loss was discovered
 	Want  int     // target number of live copies for the block
 	Step  Step
 	Src   layout.Replica // surviving copy chosen for the read step
 	Dst   layout.Replica // reserved destination; valid while Reserved
+	From  layout.Replica // evacuation only: the copy to vacate after commit
 	// Reserved marks that Dst's position is held in the planner's
-	// reservation table; it is the job's only scratch state and is
-	// released on commit, abort, and cancel alike.
+	// reservation table; it is released on commit, abort, and cancel
+	// alike.
 	Reserved bool
+	// Busy marks the job's current step as executing on some drive: set
+	// at issue, cleared when that operation settles. Other drives skip a
+	// busy job, so a step is never double-issued (a second drive would
+	// otherwise follow the first's reservation onto its busy tape).
+	Busy bool
 }
 
 // Config tunes the planner's promotion and reclamation policy.
@@ -76,6 +100,10 @@ type Planner struct {
 	copyOK func(layout.Replica) bool
 	tapeUp func(tape int) bool
 	posOK  func(tape, pos int) bool
+	// destOK, when non-nil, further filters destination tapes for every
+	// job kind (the health extension excludes suspect tapes: repairing
+	// onto a tape queued for evacuation would be wasted motion).
+	destOK func(tape int) bool
 
 	jobs      []*Job // active jobs in ID order
 	byBlock   map[layout.BlockID]*Job
@@ -121,6 +149,12 @@ func New(lay *layout.Layout, heat *Heat, cfg Config,
 
 func packPos(tape, pos int) int64 { return int64(tape)<<32 | int64(uint32(pos)) }
 
+// SetDestFilter installs (or clears, with nil) the destination-tape filter
+// consulted by feasibility checks and ChooseDest for every job. Existing
+// reservations are unaffected; a newly excluded tape simply receives no
+// further reservations.
+func (p *Planner) SetDestFilter(f func(tape int) bool) { p.destOK = f }
+
 // LiveCopies counts block b's readable copies.
 func (p *Planner) LiveCopies(b layout.BlockID) int {
 	n := 0
@@ -156,7 +190,7 @@ func (p *Planner) Feasible(j *Job) bool { return p.hasDest(j.Block) }
 
 func (p *Planner) hasDest(b layout.BlockID) bool {
 	for t := 0; t < p.lay.Tapes(); t++ {
-		if !p.tapeUp(t) {
+		if !p.tapeUp(t) || (p.destOK != nil && !p.destOK(t)) {
 			continue
 		}
 		if _, dup := p.lay.ReplicaOn(b, t); dup {
@@ -189,6 +223,36 @@ func (p *Planner) enqueue(b layout.BlockID, now float64, want int) *Job {
 	p.jobs = append(p.jobs, j)
 	p.byBlock[b] = j
 	return j
+}
+
+// EnqueueEvacuation creates a job that moves block b's copy at `from` off
+// its tape: mint one extra copy elsewhere (Want = live+1), then the caller
+// removes `from` once the mint commits. Returns nil when the block is
+// already covered by a job, the copy at `from` is not readable (nothing to
+// vacate -- plain repair owns dead copies), no live copy exists, or no
+// destination tape can take the extra copy.
+func (p *Planner) EnqueueEvacuation(b layout.BlockID, from layout.Replica, now float64) *Job {
+	if p.byBlock[b] != nil || !p.copyOK(from) {
+		return nil
+	}
+	live := p.LiveCopies(b)
+	if live == 0 || !p.hasDest(b) {
+		return nil
+	}
+	j := &Job{ID: p.nextID, Kind: KindEvacuate, Block: b, At: now, Want: live + 1, From: from}
+	p.nextID++
+	p.created++
+	p.jobs = append(p.jobs, j)
+	p.byBlock[b] = j
+	return j
+}
+
+// EvacMoot reports that an evacuation job's purpose has evaporated: the
+// copy it was to vacate is no longer readable (its tape died, or the copy
+// escalated to dead), so plain repair -- not evacuation -- now owns the
+// block. Moot jobs should be cancelled.
+func (p *Planner) EvacMoot(j *Job) bool {
+	return j.Kind == KindEvacuate && !p.copyOK(j.From)
 }
 
 // NoteTapeFail reacts to a tape death: every block that had a copy on the
@@ -226,6 +290,9 @@ func (p *Planner) Ranked(now float64) []*Job {
 // non-nil, further filters candidates (the engine rejects tapes another
 // drive holds). SrcDone and SrcGone mean the job should be cancelled.
 func (p *Planner) PickSource(j *Job, ok func(layout.Replica) bool) (layout.Replica, SrcStatus) {
+	if p.EvacMoot(j) {
+		return layout.Replica{}, SrcDone
+	}
 	if p.LiveCopies(j.Block) >= j.Want {
 		return layout.Replica{}, SrcDone
 	}
@@ -263,7 +330,8 @@ func (p *Planner) ChooseDest(j *Job, tapeOK func(int) bool) (layout.Replica, boo
 	}
 	var cands []cand
 	for t := 0; t < p.lay.Tapes(); t++ {
-		if !p.tapeUp(t) || (tapeOK != nil && !tapeOK(t)) {
+		if !p.tapeUp(t) || (tapeOK != nil && !tapeOK(t)) ||
+			(p.destOK != nil && !p.destOK(t)) {
 			continue
 		}
 		if _, dup := p.lay.ReplicaOn(j.Block, t); dup {
@@ -313,8 +381,10 @@ func (p *Planner) Abort(j *Job) { p.release(j) }
 
 // Commit finalizes j's write step: the minted copy enters the layout at
 // the reserved destination, the reservation is released, and the job is
-// retired. If the block is still under target (several copies were lost)
-// a fresh job is enqueued. Returns the new copy.
+// retired. If a repair job's block is still under target (several copies
+// were lost) a fresh job is enqueued; an evacuation job instead leaves the
+// follow-up -- removing the copy at From -- to its caller. Returns the new
+// copy.
 func (p *Planner) Commit(j *Job, now float64) (layout.Replica, error) {
 	if err := p.lay.AddCopy(j.Block, j.Dst.Tape, j.Dst.Pos); err != nil {
 		return layout.Replica{}, err
@@ -322,7 +392,9 @@ func (p *Planner) Commit(j *Job, now float64) (layout.Replica, error) {
 	c := j.Dst
 	p.release(j)
 	p.drop(j)
-	p.enqueue(j.Block, now, j.Want)
+	if j.Kind == KindRepair {
+		p.enqueue(j.Block, now, j.Want)
+	}
 	return c, nil
 }
 

@@ -32,6 +32,13 @@ type Shared struct {
 	// retry exhaustion). Schedulers must not target a dead copy.
 	DeadCopy func(tape, pos int) bool
 
+	// Fenced marks drives withdrawn from scheduling for maintenance (the
+	// health extension's drive fence, the drive-side analogue of Down).
+	// The engine checks the mask before issuing work on a drive; it is
+	// indexed by drive, not tape, so schedulers -- which see one drive's
+	// State at a time -- never consult it. nil means no drive is fenced.
+	Fenced []bool
+
 	// Now is the current simulation time, maintained by the engine. Only the
 	// aging term reads it; with AgeWeight zero it is never consulted.
 	Now float64
@@ -102,7 +109,7 @@ func (sh *Shared) Reset(l *layout.Layout, costs *CostModel) {
 	}
 	sh.Pending = sh.Pending[:0]
 	sh.Layout, sh.Costs = l, costs
-	sh.Busy, sh.Down, sh.DeadCopy = nil, nil, nil
+	sh.Busy, sh.Down, sh.DeadCopy, sh.Fenced = nil, nil, nil, nil
 	sh.Now, sh.AgeWeight = 0, 0
 }
 

@@ -139,6 +139,13 @@ type Config struct {
 	// the subsystem, leaving the event stream bit-identical to a build
 	// without it.
 	Repair RepairConfig
+
+	// Health configures proactive media health: background latent-error
+	// scrubbing, tape/drive health scoring, preemptive evacuation of
+	// degrading tapes, and drive fencing. The zero value disables the
+	// subsystem, leaving the event stream bit-identical to a build
+	// without it.
+	Health HealthConfig
 }
 
 // ConfigError is a typed validation error for the overload-robustness
@@ -324,7 +331,10 @@ func (c *Config) Validate() error {
 	if err := c.validateOverload(); err != nil {
 		return err
 	}
-	return c.validateRepair()
+	if err := c.validateRepair(); err != nil {
+		return err
+	}
+	return c.validateHealth()
 }
 
 // validateOverload checks the overload-robustness surface, reporting typed
@@ -463,8 +473,25 @@ type Result struct {
 	RepairJobs          int64   // repair jobs enqueued (loss-driven and promotions)
 	RepairedCopies      int64   // new copies minted by completed repair jobs
 	ReclaimedCopies     int64   // cold excess copies reclaimed
-	RepairSeconds       float64 // drive time spent on repair reads and writes
+	RepairSeconds       float64 // drive time spent on repair reads and writes (evacuation included)
 	MeanTimeToRepairSec float64 // mean loss-discovery-to-commit latency of minted copies
+
+	// Proactive media health. The scrub/evacuation/fence metrics are zero
+	// when Health is disabled; the latent-error counters and
+	// MeanTimeToDetectSec populate whenever the fault model injects
+	// latent errors, with or without the health extension detecting them
+	// early.
+	ScrubbedMB           float64 // data verified by background scrub passes
+	ScrubSeconds         float64 // drive time spent scrubbing
+	LatentErrorsInjected int     // latent bad-block positions injected
+	LatentErrorsFound    int64   // latent errors detected by any path
+	LatentFoundByScrub   int64   // latent errors the scrub patrol found first
+	SuspectTapes         int     // tapes whose health score crossed SuspectScore
+	EvacuatedTapes       int     // suspect tapes fully drained of copies
+	EvacuationJobs       int64   // evacuation jobs enqueued
+	EvacuatedCopies      int64   // copies moved off suspect tapes
+	FencedDrives         int64   // drive maintenance fences taken
+	MeanTimeToDetectSec  float64 // mean onset-to-detection latency of developed latent errors (undetected ones censored at run end)
 }
 
 // EffectiveOfStreaming returns throughput as a fraction of the drive's

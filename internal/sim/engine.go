@@ -85,6 +85,7 @@ type engine struct {
 	flt    *faultState    // fault-model extension, nil when disabled
 	ovl    *overloadState // overload-robustness extension, nil when disabled
 	rep    *repairState   // self-healing replication extension, nil when disabled
+	hlt    *healthState   // proactive media-health extension, nil when disabled
 }
 
 // newEngine assembles one run's state. sess, when non-nil, supplies cached
@@ -241,6 +242,7 @@ func newEngine(cfg Config, sess *Session) (*engine, error) {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	e.initRepair()
+	e.initHealth()
 	// Seed the system: closed models start with the full queue present;
 	// open models schedule their first Poisson arrival.
 	for i := 0; i < arr.InitialCount(); i++ {
@@ -407,5 +409,6 @@ func (e *engine) result() *Result {
 	e.faultResult(res)
 	e.overloadResult(res)
 	e.repairResult(res)
+	e.healthResult(res)
 	return res
 }

@@ -28,7 +28,16 @@ type faultState struct {
 	unservPost int64 // post-warmup, for availability
 	rerouted   int64
 	recovery   stats.Accumulator
+
+	// latentDet records when each latent error was first detected (packed
+	// (tape,pos) -> detection time), by whichever path touched it first:
+	// a failing user read, a scrub pass, or a repair read's verification.
+	latentDet   map[int64]float64
+	latentFound int64
 }
+
+// packCopyKey packs a physical position into the latent-detection map key.
+func packCopyKey(tape, pos int) int64 { return int64(tape)<<32 | int64(uint32(pos)) }
 
 // anyTapeUp reports whether at least one tape has not failed. The counter
 // is maintained by markTapeDown, keeping this O(1) on the delivery path
@@ -66,6 +75,38 @@ func (e *engine) initFaults(capBlocks int) error {
 	e.sh.Down = e.flt.down
 	e.sh.DeadCopy = inj.CopyDead
 	return nil
+}
+
+// noteLatentFound handles the first detection of a latent error at
+// (tape, pos): the copy escalates to dead exactly like a retry-exhausted
+// transient, the detection time and latency are recorded, and the repair
+// planner is notified so a replacement copy gets minted. byScrub credits
+// the background patrol (versus a user read or repair read finding it).
+func (e *engine) noteLatentFound(tape, pos int, at float64, byScrub bool) {
+	f := e.flt
+	key := packCopyKey(tape, pos)
+	if _, dup := f.latentDet[key]; dup {
+		return
+	}
+	if f.latentDet == nil {
+		f.latentDet = make(map[int64]float64)
+	}
+	f.latentDet[key] = at
+	f.latentFound++
+	f.inj.MarkDead(tape, pos)
+	f.maskDirty = true
+	if e.rep != nil {
+		e.rep.pl.NoteCopyDead(tape, pos, at)
+	}
+	onset, _ := f.inj.LatentOnset(tape, pos)
+	e.push(Event{Kind: EventLatentFound, Time: at, Tape: tape, Pos: pos, Seconds: at - onset})
+	if h := e.hlt; h != nil {
+		if byScrub {
+			h.foundByScrub++
+		}
+		h.sc.NoteTapeError(tape, at)
+		e.updateSuspect(tape, at)
+	}
 }
 
 // unserviceable abandons a request whose every copy is lost: it leaves the
@@ -182,6 +223,7 @@ func (e *engine) resolveFaultyRead(d int, r *sched.Request) {
 			f.repairSec += rep
 			vt += rep
 			e.push(Event{Kind: EventDriveRepair, Time: vt, Tape: -1, Pos: -1, Seconds: rep})
+			e.noteFaultErr(d, -1, vt)
 		}
 		if f.inj.TapeFailed(tape, vt) {
 			// The medium died mid-schedule: the locate runs into the failure
@@ -209,6 +251,22 @@ func (e *engine) resolveFaultyRead(d int, r *sched.Request) {
 			e.beginOp(d, vt, true)
 			return
 		}
+		if f.inj.LatentActive(tape, pos, vt) {
+			// A latent error developed here undetected and this user read
+			// is the first to touch it: the read fails permanently, the
+			// copy escalates to dead, and the request reroutes to a
+			// surviving replica. Detection by table lookup -- no draw.
+			vt += loc + rd
+			f.faultSec += loc + rd
+			st.Head = newHead
+			f.permanent++
+			e.push(Event{Kind: EventFault, Time: vt, Tape: tape, Pos: pos,
+				Seconds: loc + rd, Request: r.ID})
+			e.noteLatentFound(tape, pos, vt, false)
+			dr.faulted = r
+			e.beginOp(d, vt, true)
+			return
+		}
 		if !f.inj.ReadAttemptFails() {
 			vt += loc
 			e.locateSec += loc
@@ -231,6 +289,7 @@ func (e *engine) resolveFaultyRead(d int, r *sched.Request) {
 		f.transient++
 		e.push(Event{Kind: EventFault, Time: vt, Tape: tape, Pos: pos,
 			Seconds: loc + rd, Request: r.ID})
+		e.noteFaultErr(d, tape, vt)
 		attempt++
 		if attempt > f.inj.Retry().MaxRetries {
 			f.inj.MarkDead(tape, pos)
@@ -281,6 +340,7 @@ func (e *engine) resolveFaultySwitch(d int, tape int, sw float64) {
 		vt += sw
 		f.faultSec += sw
 		e.push(Event{Kind: EventFault, Time: vt, Tape: tape, Pos: -1, Seconds: sw})
+		e.noteFaultErr(d, tape, vt)
 		attempt++
 		if attempt > f.inj.Retry().MaxRetries {
 			// The loader cannot mount the cartridge; treat it as damaged.
@@ -317,5 +377,28 @@ func (e *engine) faultResult(res *Result) {
 	res.MeanRecoverySec = f.recovery.Mean()
 	if e.completed+f.unservPost > 0 {
 		res.Availability = float64(e.completed) / float64(e.completed+f.unservPost)
+	}
+	res.LatentErrorsInjected = f.inj.InjectedLatentErrors()
+	res.LatentErrorsFound = f.latentFound
+	// Mean time to detect, over every latent error that developed within
+	// the run: detection latency when found, censored at run end when not.
+	// Censoring makes the metric comparable across detection regimes -- a
+	// run that never finds an error does not get to pretend the error has
+	// no latency.
+	var sum float64
+	n := 0
+	for _, l := range f.inj.Latents() {
+		if l.Onset >= e.now {
+			continue
+		}
+		if det, ok := f.latentDet[packCopyKey(l.Tape, l.Pos)]; ok {
+			sum += det - l.Onset
+		} else {
+			sum += e.now - l.Onset
+		}
+		n++
+	}
+	if n > 0 {
+		res.MeanTimeToDetectSec = sum / float64(n)
 	}
 }

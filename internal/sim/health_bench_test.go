@@ -1,0 +1,23 @@
+package sim
+
+import "testing"
+
+// BenchmarkScrubIdle measures the health-enabled faulty open run: the idle
+// branch interleaves the repair scan with the scrub patrol, latent errors
+// develop and are caught by scrubbing, and suspect tapes are evacuated.
+// Tracked in BENCH_sched.json via scripts/bench.sh.
+func BenchmarkScrubIdle(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := openHealthCfg(2)
+		cfg.Health = HealthConfig{Enable: true, ScrubRate: 64,
+			SuspectScore: 3, Evacuate: true}
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ScrubbedMB == 0 {
+			b.Fatal("benchmark run scrubbed nothing")
+		}
+	}
+}

@@ -43,7 +43,15 @@ type drive struct {
 
 	// repairJob, when set, is a background repair write whose new copy is
 	// minted at freeAt: other drives must not see it before the write lands.
-	repairJob *repair.Job
+	// repairRead is the job whose read step is in flight; both clear the
+	// job's busy claim at settle.
+	repairJob  *repair.Job
+	repairRead *repair.Job
+
+	// unfence, when set, marks the in-flight operation as the drive's
+	// maintenance downtime: at freeAt the fence mask clears and the
+	// drive's error score resets.
+	unfence bool
 }
 
 // multiAudit, set by tests, verifies busy-vector/mount consistency at every
@@ -210,9 +218,21 @@ func (e *engine) settle(d int) bool {
 		dr.inFlight = nil
 		e.complete(r)
 	}
+	if j := dr.repairRead; j != nil {
+		dr.repairRead = nil
+		j.Busy = false
+	}
 	if j := dr.repairJob; j != nil {
 		dr.repairJob = nil
+		j.Busy = false
 		e.commitRepair(j)
+	}
+	if dr.unfence {
+		// Maintenance is over: the drive rejoins scheduling with a clean
+		// error history (the fence would otherwise re-trip immediately).
+		dr.unfence = false
+		e.sh.Fenced[d] = false
+		e.hlt.sc.ResetDrive(d)
 	}
 	return pumpAfter
 }
@@ -251,17 +271,24 @@ func (e *engine) issue(d int) error {
 			e.flt.repairSec += rep
 			e.beginOp(d, e.now+rep, false)
 			e.push(Event{Kind: EventDriveRepair, Time: dr.freeAt, Tape: -1, Pos: -1, Seconds: rep})
+			e.noteFaultErr(d, -1, dr.freeAt)
 			return nil
 		}
 		e.dropUnserviceable()
 	}
+	if e.hlt != nil && e.healthFenceOp(d) {
+		// The drive's error score crossed the fence threshold: it leaves
+		// scheduling for maintenance before taking any further work.
+		return nil
+	}
 	if len(e.sh.Pending) == 0 {
 		// The drive would otherwise go idle: flush buffered writes first,
-		// then give the slack to background repair. Repair runs one job
-		// step per operation, so a real request arriving preempts a job at
-		// the next issue with its progress intact.
-		if !e.idleFlushOp(d) {
-			e.idleRepairOp(d)
+		// then give the slack to background repair, then to the scrub
+		// patrol. Each runs one step per operation, so a real request
+		// arriving preempts the background work at the next issue with
+		// its progress intact.
+		if !e.idleFlushOp(d) && !e.idleRepairOp(d) {
+			e.idleScrubOp(d)
 		}
 		return nil
 	}
@@ -294,6 +321,7 @@ func (e *engine) issue(d int) error {
 			e.sh.Busy[tape] = true
 		}
 		st.Mounted, st.Head = tape, 0
+		e.noteMount(tape)
 		st.Active = sweep
 		if e.flt != nil {
 			e.resolveFaultySwitch(d, tape, sw)

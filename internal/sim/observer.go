@@ -47,6 +47,22 @@ const (
 	// EventReclaim: a cold excess copy at (Tape, Pos) was reclaimed
 	// (metadata-only: the copy leaves the replica tables).
 	EventReclaim
+	// EventScrubRead: the background scrub scanner verified the live copy
+	// at (Tape, Pos) during drive idle time (the health extension).
+	EventScrubRead
+	// EventEvacuate: the copy at (Tape, Pos) on a suspect tape was dropped
+	// after its replacement committed elsewhere (metadata-only, like
+	// EventReclaim).
+	EventEvacuate
+	// EventDriveFence: a drive crossed its error-score threshold and spent
+	// Seconds of maintenance downtime fenced out of scheduling (Time is
+	// the end of the maintenance).
+	EventDriveFence
+	// EventLatentFound: a latent error at (Tape, Pos) was detected -- by a
+	// scrub pass, a repair read, or a failing user read -- and the copy
+	// escalated to dead. Seconds is the detection latency since the error
+	// developed.
+	EventLatentFound
 )
 
 // String names the event kind.
@@ -82,6 +98,14 @@ func (k EventKind) String() string {
 		return "repair-write"
 	case EventReclaim:
 		return "reclaim"
+	case EventScrubRead:
+		return "scrub-read"
+	case EventEvacuate:
+		return "evacuate"
+	case EventDriveFence:
+		return "drive-fence"
+	case EventLatentFound:
+		return "latent-found"
 	}
 	return "unknown"
 }

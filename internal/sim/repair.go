@@ -117,8 +117,13 @@ func (e *engine) idleRepairOp(d int) bool {
 	if rp == nil {
 		return false
 	}
+	e.healthEvacScan()
 	rp.pl.Scan(e.now, e.reclaimCopy)
 	for _, j := range rp.pl.Ranked(e.now) {
+		if j.Busy {
+			// Another drive is executing this job's current step.
+			continue
+		}
 		switch j.Step {
 		case repair.StepRead:
 			if e.issueRepairRead(d, j) {
@@ -133,14 +138,16 @@ func (e *engine) idleRepairOp(d int) bool {
 	return false
 }
 
-// repairSwitch moves drive d to the given tape for a repair step. Repair
-// switches are real mounts: they emit EventSwitch so traces replay on the
-// deck. A tape already dead at load is discovered exactly as in
+// idleSwitch moves drive d to the given tape for a background step (a
+// repair job or a scrub pass; sink receives the drive time on the failed
+// path, so each subsystem is charged for its own mounts). Idle switches
+// are real mounts: they emit EventSwitch so traces replay on the deck. A
+// tape already dead at load is discovered exactly as in
 // resolveFaultySwitch -- the drive ends the operation empty and the tape
 // is masked at settle -- but without any injector draw, so the fault
 // stream is unchanged. Returns the post-switch virtual time and whether
 // the mount succeeded.
-func (e *engine) repairSwitch(d, tape int) (float64, bool) {
+func (e *engine) idleSwitch(d, tape int, sink *float64) (float64, bool) {
 	dr := &e.drives[d]
 	st := dr.st
 	sw := e.sh.Costs.SwitchCost(st.Mounted, st.Head, tape)
@@ -152,8 +159,9 @@ func (e *engine) repairSwitch(d, tape int) (float64, bool) {
 		e.sh.Busy[tape] = true
 	}
 	st.Mounted, st.Head = tape, 0
+	e.noteMount(tape)
 	if e.flt != nil && e.flt.inj.TapeFailed(tape, e.now) {
-		e.rep.repairSec += sw
+		*sink += sw
 		dr.failTape, dr.loadFail = tape, true
 		e.beginOp(d, vt, false)
 		return vt, false
@@ -188,7 +196,7 @@ func (e *engine) issueRepairRead(d int, j *repair.Job) bool {
 	vt := e.now
 	if src.Tape != st.Mounted {
 		var ok bool
-		if vt, ok = e.repairSwitch(d, src.Tape); !ok {
+		if vt, ok = e.idleSwitch(d, src.Tape, &rp.repairSec); !ok {
 			return true // the failed load occupied the drive
 		}
 	}
@@ -201,6 +209,23 @@ func (e *engine) issueRepairRead(d int, j *repair.Job) bool {
 		e.beginOp(d, vt+loc, false)
 		return true
 	}
+	if e.flt != nil && e.flt.inj.LatentActive(src.Tape, src.Pos, vt) {
+		// The verification behind the repair read finds a latent error on
+		// the chosen source: nothing is buffered, the copy escalates to
+		// dead, and the job resumes from the read step with another copy.
+		loc, rd, newHead := e.sh.Costs.ServeOneParts(st.Head, src.Pos)
+		vt += loc + rd
+		rp.repairSec += loc + rd
+		st.Head = newHead
+		// The failed attempt is a request-less fault record: the job ID
+		// would collide with request IDs in the fault ledger, and the
+		// discovery itself is recorded by the latent-found that follows.
+		e.push(Event{Kind: EventFault, Time: vt, Tape: src.Tape, Pos: src.Pos,
+			Seconds: loc + rd})
+		e.noteLatentFound(src.Tape, src.Pos, vt, false)
+		e.beginOp(d, vt, false)
+		return true
+	}
 	loc, rd, newHead := e.sh.Costs.ServeOneParts(st.Head, src.Pos)
 	vt += loc + rd
 	rp.repairSec += loc + rd
@@ -208,6 +233,8 @@ func (e *engine) issueRepairRead(d int, j *repair.Job) bool {
 	rp.pl.FinishRead(j)
 	e.push(Event{Kind: EventRepairRead, Time: vt, Tape: src.Tape, Pos: src.Pos,
 		Seconds: loc + rd, Request: j.ID})
+	j.Busy = true
+	dr.repairRead = j
 	e.beginOp(d, vt, false)
 	return true
 }
@@ -221,7 +248,13 @@ func (e *engine) issueRepairWrite(d int, j *repair.Job) bool {
 	dr := &e.drives[d]
 	st := dr.st
 	rp := e.rep
-	if rp.pl.LiveCopies(j.Block) >= j.Want {
+	if rp.pl.EvacMoot(j) {
+		// The copy this evacuation was to vacate died on its own; plain
+		// repair (the rotating scan) owns the block now.
+		rp.pl.Cancel(j)
+		return false
+	}
+	if j.Kind == repair.KindRepair && rp.pl.LiveCopies(j.Block) >= j.Want {
 		rp.pl.Cancel(j)
 		return false
 	}
@@ -237,7 +270,7 @@ func (e *engine) issueRepairWrite(d int, j *repair.Job) bool {
 	}
 	vt := e.now
 	if dst.Tape != st.Mounted {
-		if vt, ok = e.repairSwitch(d, dst.Tape); !ok {
+		if vt, ok = e.idleSwitch(d, dst.Tape, &rp.repairSec); !ok {
 			rp.pl.Abort(j)
 			return true
 		}
@@ -256,6 +289,7 @@ func (e *engine) issueRepairWrite(d int, j *repair.Job) bool {
 	st.Head = newHead
 	e.push(Event{Kind: EventRepairWrite, Time: vt, Tape: dst.Tape, Pos: dst.Pos,
 		Seconds: loc + wr, Request: j.ID})
+	j.Busy = true
 	dr.repairJob = j
 	e.beginOp(d, vt, false)
 	return true
@@ -264,7 +298,9 @@ func (e *engine) issueRepairWrite(d int, j *repair.Job) bool {
 // commitRepair mints job j's new copy at settle time. If the destination
 // tape died between issue and settle nothing is minted: the reservation
 // is released and the job stays at its write step (monotone -- the read
-// is never repeated, the copy is added exactly once or not at all).
+// is never repeated, the copy is added exactly once or not at all). An
+// evacuation job additionally drops the suspect-tape copy it replaced,
+// strictly after the mint, so the block's availability never dips.
 func (e *engine) commitRepair(j *repair.Job) {
 	rp := e.rep
 	if !e.sh.Up(j.Dst.Tape) {
@@ -276,9 +312,15 @@ func (e *engine) commitRepair(j *repair.Job) {
 		rp.pl.Abort(j)
 		return
 	}
+	e.notifyCopyAdded(j.Block, c)
+	if j.Kind == repair.KindEvacuate {
+		if h := e.hlt; h != nil && !e.evacRemove(j.Block, j.From) {
+			h.pendingRemove = append(h.pendingRemove, pendingEvac{j.Block, j.From})
+		}
+		return
+	}
 	rp.repaired++
 	rp.mttr.Add(e.now - j.At)
-	e.notifyCopyAdded(j.Block, c)
 }
 
 // reclaimCopy removes a cold excess copy nominated by the planner scan.

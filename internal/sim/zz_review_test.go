@@ -17,9 +17,9 @@ func TestReviewMultiDriveRepairAudit(t *testing.T) {
 			ReadHotPercent: 100, DataBlocks: 1000, Replicas: 2,
 			Drives:      2,
 			QueueLength: 0, MeanInterarrival: 300,
-			Scheduler: core.NewEnvelope(core.MaxBandwidth),
+			Scheduler:        core.NewEnvelope(core.MaxBandwidth),
 			SchedulerFactory: func() sched.Scheduler { return core.NewEnvelope(core.MaxBandwidth) },
-			Horizon:   2_000_000, Seed: seed,
+			Horizon:          2_000_000, Seed: seed,
 			Faults: faults.Config{TapeMTBFSec: 600_000},
 			Repair: RepairConfig{Enable: true},
 		}

@@ -104,16 +104,32 @@ type Summary struct {
 	RepairWrites int64 // repair-job copy writes
 	Reclaims     int64 // excess replicas reclaimed
 
+	ScrubReads  int64 // scrub verification reads (health extension)
+	LatentFinds int64 // latent errors detected (any path)
+	Evacuations int64 // copies dropped from suspect tapes
+	DriveFences int64 // drives fenced for maintenance
+
 	Span            float64 // last event time
 	ReadSeconds     float64 // total time inside read operations (locate+transfer)
 	SwitchSeconds   float64
 	RepairSeconds   float64 // time inside repair reads and writes
+	ScrubSeconds    float64 // time inside scrub verification reads
 	IdleSeconds     float64
 	MeanSweepLen    float64 // reads per tape visit
 	MeanSwitchGap   float64 // seconds between consecutive switches
 	ReadsPerTape    map[int]int64
 	BusiestTape     int
 	BusiestTapeFrac float64
+
+	// RepairedCopies counts repair jobs whose copy write landed, and
+	// MeanTimeToRepairSec averages the gap between each job's source read
+	// and its copy write (jobs still open at the end of the trace are not
+	// counted). MeanTimeToDetectSec averages the detection latency the
+	// latent-found records carry: how long each latent error sat on tape
+	// before a read -- user, repair, or scrub -- touched it.
+	RepairedCopies      int64
+	MeanTimeToRepairSec float64
+	MeanTimeToDetectSec float64
 }
 
 // Summarize computes a Summary from records in time order.
@@ -123,6 +139,8 @@ func Summarize(recs []Record) *Summary {
 	lastSwitch := -1.0
 	readsSinceSwitch := int64(0)
 	var sweeps stats.Accumulator
+	var mttr, mttd stats.Accumulator
+	readAt := make(map[int64]float64) // repair job ID -> source-read time
 	for _, r := range recs {
 		s.Events++
 		if r.Time > s.Span {
@@ -163,11 +181,29 @@ func Summarize(recs []Record) *Summary {
 		case "repair-read":
 			s.RepairReads++
 			s.RepairSeconds += r.Seconds
+			if _, open := readAt[r.Request]; !open {
+				readAt[r.Request] = r.Time
+			}
 		case "repair-write":
 			s.RepairWrites++
 			s.RepairSeconds += r.Seconds
+			s.RepairedCopies++
+			if t0, ok := readAt[r.Request]; ok {
+				mttr.Add(r.Time - t0)
+				delete(readAt, r.Request)
+			}
 		case "reclaim":
 			s.Reclaims++
+		case "scrub-read":
+			s.ScrubReads++
+			s.ScrubSeconds += r.Seconds
+		case "latent-found":
+			s.LatentFinds++
+			mttd.Add(r.Seconds)
+		case "evacuate":
+			s.Evacuations++
+		case "drive-fence":
+			s.DriveFences++
 		}
 	}
 	if readsSinceSwitch > 0 {
@@ -175,6 +211,8 @@ func Summarize(recs []Record) *Summary {
 	}
 	s.MeanSweepLen = sweeps.Mean()
 	s.MeanSwitchGap = gap.Mean()
+	s.MeanTimeToRepairSec = mttr.Mean()
+	s.MeanTimeToDetectSec = mttd.Mean()
 	var best int64 = -1
 	// Deterministic tie-break: lowest tape index wins.
 	tapes := make([]int, 0, len(s.ReadsPerTape))
@@ -211,8 +249,12 @@ func (s *Summary) Format(w io.Writer) {
 		fmt.Fprintf(w, "overload          %d expired, %d shed, %d rejected\n", s.Expires, s.Sheds, s.Rejects)
 	}
 	if s.RepairReads+s.RepairWrites+s.Reclaims > 0 {
-		fmt.Fprintf(w, "repair            %d reads, %d writes, %d reclaims (%.0f s)\n",
-			s.RepairReads, s.RepairWrites, s.Reclaims, s.RepairSeconds)
+		fmt.Fprintf(w, "repair            %d reads, %d writes, %d reclaims (%.0f s; %d copies repaired, MTTR %.0f s)\n",
+			s.RepairReads, s.RepairWrites, s.Reclaims, s.RepairSeconds, s.RepairedCopies, s.MeanTimeToRepairSec)
+	}
+	if s.ScrubReads+s.LatentFinds+s.Evacuations+s.DriveFences > 0 {
+		fmt.Fprintf(w, "health            %d scrub reads (%.0f s), %d latent found (MTTD %.0f s), %d evacuations, %d fences\n",
+			s.ScrubReads, s.ScrubSeconds, s.LatentFinds, s.MeanTimeToDetectSec, s.Evacuations, s.DriveFences)
 	}
 	if s.BusiestTape >= 0 {
 		fmt.Fprintf(w, "busiest tape      %d (%.0f%% of reads)\n", s.BusiestTape, 100*s.BusiestTapeFrac)

@@ -52,6 +52,18 @@ func (r *VerifyReport) OK() bool { return r.Mismatches == 0 }
 // a (tape, position) the trace reclaimed without an intervening
 // repair-write there (a reclaimed copy cannot serve requests).
 //
+// Health-extension records replay too. "scrub-read" moves the head like a
+// read and fails verification on a tape the trace already declared failed,
+// on a slot the trace emptied (a reclaimed or evacuated slot holds nothing
+// to verify), or on a position with a prior "latent-found" (the copy is
+// dead; the patrol skips it). "evacuate" is metadata-only and empties its
+// slot exactly like a reclaim; emptying a slot twice fails verification.
+// "latent-found" is metadata-only but must follow a head access -- read,
+// fault, scrub-read, or repair-read -- at the same (tape, position) in the
+// trace (detection without the read that detected it is fabrication), and
+// a second latent-found at the same position fails (the escalation to dead
+// happens once). "drive-fence" carries no drive geometry and is skipped.
+//
 // Traces containing write-flush events are rejected (the flush path moves
 // the head through delta-log positions outside the replayed geometry), as
 // are multi-drive traces (interleaved head positions are not replayable on
@@ -84,7 +96,9 @@ func Verify(recs []Record, prof tapemodel.Positioner, blockMB float64, tapes, ca
 	failedTapes := make(map[int]bool)   // tapes the trace declared dead
 	repairRead := make(map[int64]bool)  // repair jobs whose source read landed
 	repairDone := make(map[int64]bool)  // repair jobs whose copy write landed
-	reclaimed := make(map[[2]int]bool)  // (tape, pos) holding no data since reclaim
+	reclaimed := make(map[[2]int]bool)  // (tape, pos) holding no data since reclaim or evacuation
+	touched := make(map[[2]int]bool)    // (tape, pos) the head has accessed
+	latent := make(map[[2]int]bool)     // (tape, pos) with a latent-found record
 	packTP := func(t, p int) [2]int { return [2]int{t, p} }
 	for i, r := range recs {
 		if r.Request != 0 {
@@ -125,6 +139,7 @@ func Verify(recs []Record, prof tapemodel.Positioner, blockMB float64, tapes, ca
 			if err != nil {
 				return nil, fmt.Errorf("trace: record %d: %w", i, err)
 			}
+			touched[packTP(r.Tape, r.Pos)] = true
 			rep.Operations++
 			note(i, "read", got, r.Seconds)
 		case "fault":
@@ -153,6 +168,7 @@ func Verify(recs []Record, prof tapemodel.Positioner, blockMB float64, tapes, ca
 			if err != nil {
 				return nil, fmt.Errorf("trace: record %d: %w", i, err)
 			}
+			touched[packTP(r.Tape, r.Pos)] = true
 			rep.Operations++
 			note(i, "fault-read", got, r.Seconds)
 		case "tape-fail":
@@ -184,6 +200,7 @@ func Verify(recs []Record, prof tapemodel.Positioner, blockMB float64, tapes, ca
 				return nil, fmt.Errorf("trace: record %d: %w", i, err)
 			}
 			repairRead[r.Request] = true
+			touched[packTP(r.Tape, r.Pos)] = true
 			rep.Operations++
 			note(i, "repair-read", got, r.Seconds)
 		case "repair-write":
@@ -204,12 +221,55 @@ func Verify(recs []Record, prof tapemodel.Positioner, blockMB float64, tapes, ca
 			}
 			repairDone[r.Request] = true
 			delete(reclaimed, packTP(r.Tape, r.Pos))
+			touched[packTP(r.Tape, r.Pos)] = true
 			rep.Operations++
 			note(i, "repair-write", got, r.Seconds)
 		case "reclaim":
 			// Metadata-only: no drive motion, but the slot holds no data
 			// until a later repair-write refills it.
 			reclaimed[packTP(r.Tape, r.Pos)] = true
+		case "scrub-read":
+			if failedTapes[r.Tape] {
+				return nil, fmt.Errorf("trace: record %d scrub-reads tape %d after its failure", i, r.Tape)
+			}
+			if deck.Mounted() != r.Tape {
+				return nil, fmt.Errorf("trace: record %d scrub-reads tape %d but tape %d is mounted (multi-drive trace?)",
+					i, r.Tape, deck.Mounted())
+			}
+			if reclaimed[packTP(r.Tape, r.Pos)] {
+				return nil, fmt.Errorf("trace: record %d scrub-reads tape %d pos %d, emptied with no copy written since",
+					i, r.Tape, r.Pos)
+			}
+			if latent[packTP(r.Tape, r.Pos)] {
+				return nil, fmt.Errorf("trace: record %d scrub-reads tape %d pos %d, dead since its latent error was found",
+					i, r.Tape, r.Pos)
+			}
+			got, err := deck.ReadBlock(r.Pos)
+			if err != nil {
+				return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			}
+			touched[packTP(r.Tape, r.Pos)] = true
+			rep.Operations++
+			note(i, "scrub-read", got, r.Seconds)
+		case "evacuate":
+			// Metadata-only, like a reclaim: the slot holds no data until a
+			// later repair-write refills it.
+			if reclaimed[packTP(r.Tape, r.Pos)] {
+				return nil, fmt.Errorf("trace: record %d evacuates tape %d pos %d, already emptied", i, r.Tape, r.Pos)
+			}
+			reclaimed[packTP(r.Tape, r.Pos)] = true
+		case "latent-found":
+			// Metadata-only, but a detection needs a detector: some head
+			// access at this position must precede it.
+			if !touched[packTP(r.Tape, r.Pos)] {
+				return nil, fmt.Errorf("trace: record %d finds a latent error at tape %d pos %d never accessed before it",
+					i, r.Tape, r.Pos)
+			}
+			if latent[packTP(r.Tape, r.Pos)] {
+				return nil, fmt.Errorf("trace: record %d finds the latent error at tape %d pos %d a second time",
+					i, r.Tape, r.Pos)
+			}
+			latent[packTP(r.Tape, r.Pos)] = true
 		}
 	}
 	return rep, nil

@@ -26,7 +26,7 @@ go test -run '^$' \
     -bench 'BenchmarkUpperEnvelope|BenchmarkEnvelopeReschedule|BenchmarkEnvelopeOnArrival' \
     -benchmem -benchtime 1s ./internal/core | tee -a "$tmp"
 go test -run '^$' \
-    -bench 'BenchmarkFaultRepairIdle' \
+    -bench 'BenchmarkFaultRepairIdle|BenchmarkScrubIdle' \
     -benchmem -benchtime 1s ./internal/sim | tee -a "$tmp"
 
 # Tracked pair for the experiment engine: BenchmarkFullRun above measures

@@ -151,6 +151,10 @@ type Config struct {
 	// RepairConfig.
 	Repair RepairConfig
 
+	// Health enables the proactive media-health extension; see
+	// HealthConfig.
+	Health HealthConfig
+
 	// Observer, when non-nil, receives every simulator event inline. It is
 	// excluded from JSON serialization (live hook, not configuration).
 	Observer Observer `json:"-"`
@@ -275,6 +279,7 @@ func (c Config) toSim() (*sim.Config, error) {
 		Degrade:          c.Degrade,
 		AgeWeight:        c.AgeWeight,
 		Repair:           c.Repair,
+		Health:           c.Health,
 	}
 	if err := c.Writes.toSim(sc); err != nil {
 		return nil, err
