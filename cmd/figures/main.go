@@ -30,7 +30,7 @@ func main() {
 
 func run() int {
 	var (
-		fig     = flag.String("fig", "", "regenerate a single figure (fig1, fig3..fig9, fig10a, fig10b, or an extension: convergence, serpentine, lto9, multidrive, gradualfill, repair, health)")
+		fig     = flag.String("fig", "", "regenerate a single figure (fig1, fig3..fig9, fig10a, fig10b, or an extension: convergence, serpentine, lto9, multidrive, gradualfill, repair, health, farm)")
 		quick   = flag.Bool("quick", false, "200,000 s horizon")
 		full    = flag.Bool("full", false, "the paper's 10,000,000 s horizon")
 		open    = flag.Bool("open", false, "open-queuing (Poisson) variants")

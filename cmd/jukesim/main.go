@@ -37,6 +37,7 @@ func usage() {
 		prefixes []string
 	}{
 		{"Workload, scheduling, and output", nil}, // everything unclaimed
+		{"Jukebox farm", []string{"farm-"}},
 		{"Delta writes", []string{"write-"}},
 		{"Fault injection", []string{"fault-"}},
 		{"Overload handling", []string{"deadline-", "admit-", "burst-", "degrade-", "age-weight"}},
@@ -75,6 +76,80 @@ func usage() {
 			fmt.Fprintf(out, "  -%s%s\n    \t%s\n", f.Name, name, help)
 		}
 	}
+}
+
+// parseTenants decodes the -farm-tenants list: comma-separated
+// mean[:rh] pairs, where mean is the class's Poisson interarrival in
+// seconds and rh its hot-read percent (empty rh inherits -rh).
+func parseTenants(s string) ([]tapejuke.TenantClass, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var ts []tapejuke.TenantClass
+	for i, part := range strings.Split(s, ",") {
+		mean, rhStr, _ := strings.Cut(strings.TrimSpace(part), ":")
+		t := tapejuke.TenantClass{Name: fmt.Sprintf("class%d", i)}
+		if _, err := fmt.Sscanf(mean, "%g", &t.MeanInterarrivalSec); err != nil {
+			return nil, fmt.Errorf("tenant %d: bad mean interarrival %q", i, mean)
+		}
+		if rhStr != "" {
+			if _, err := fmt.Sscanf(rhStr, "%g", &t.ReadHotPercent); err != nil {
+				return nil, fmt.Errorf("tenant %d: bad RH %q", i, rhStr)
+			}
+		}
+		ts = append(ts, t)
+	}
+	return ts, nil
+}
+
+// runFarm executes a farm simulation and prints its ledger: aggregate
+// lines, the conservation identity, and a per-shard summary table.
+func runFarm(fc tapejuke.FarmConfig, format string) int {
+	fr, err := tapejuke.RunFarm(fc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jukesim:", err)
+		return 1
+	}
+	if strings.ToLower(format) == "csv" {
+		fmt.Println("shard,requests,completed,throughput_kbps,availability,p99_response_s,mean_queue")
+		for s, r := range fr.Shards {
+			fmt.Printf("%d,%d,%d,%.2f,%.4f,%.1f,%.1f\n",
+				s, fr.Routed[s], r.Completed, r.ThroughputKBps, r.Availability, r.P99ResponseSec, r.MeanQueueLen)
+		}
+		fmt.Printf("total,%d,%d,%.2f,%.4f,%.1f,\n",
+			fr.TotalArrivals, fr.Completed, fr.ThroughputKBps, fr.Availability, fr.P99ResponseSec)
+		return 0
+	}
+	workers := fc.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("farm                 %d shards, %s placement, %d workers\n", fc.Shards, fr.Placement, workers)
+	fmt.Printf("farm throughput      %.1f KB/s aggregate (%.3f requests/minute)\n", fr.ThroughputKBps, fr.RequestsPerMinute)
+	fmt.Printf("farm response        mean %.1f s, p50 %.1f s, p99 %.1f s (completion-weighted)\n",
+		fr.MeanResponseSec, fr.P50ResponseSec, fr.P99ResponseSec)
+	fmt.Printf("farm availability    %.4f (%d unserviceable, %d failed over)\n",
+		fr.Availability, fr.Unserviceable, fr.FailedOver)
+	fmt.Printf("farm imbalance       requests %.3f max/mean, queue %.3f max/mean\n",
+		fr.RequestImbalance, fr.QueueImbalance)
+	sum := fr.TotalCompleted + fr.Expired + fr.Shed + fr.Unserviceable + fr.Outstanding
+	verdict := "ok"
+	if sum != fr.TotalArrivals {
+		verdict = "VIOLATED"
+	}
+	fmt.Printf("farm conservation    %s (%d arrivals = %d completed + %d expired + %d shed + %d unserviceable + %d outstanding)\n",
+		verdict, fr.TotalArrivals, fr.TotalCompleted, fr.Expired, fr.Shed, fr.Unserviceable, fr.Outstanding)
+	fmt.Println("per-shard summary")
+	fmt.Printf("  %5s %10s %10s %11s %8s %10s %11s\n",
+		"shard", "requests", "completed", "tput_KB/s", "avail", "p99_s", "mean_queue")
+	for s, r := range fr.Shards {
+		fmt.Printf("  %5d %10d %10d %11.1f %8.4f %10.1f %11.1f\n",
+			s, fr.Routed[s], r.Completed, r.ThroughputKBps, r.Availability, r.P99ResponseSec, r.MeanQueueLen)
+	}
+	if verdict != "ok" {
+		return 1
+	}
+	return 0
 }
 
 // startCPUProfile begins CPU profiling into path and returns the stop
@@ -169,6 +244,10 @@ func run() int {
 		healthEvac  = flag.Bool("health-evacuate", false, "drain suspect tapes through the repair machinery")
 		healthFence = flag.Float64("health-fence", 0, "score above which a drive is fenced for maintenance (0 = off)")
 		healthMaint = flag.Float64("health-maintenance", 0, "fenced-drive maintenance seconds (default 3600)")
+		farmShards  = flag.Int("farm-shards", 0, "simulate a farm of this many identical libraries (0 = single jukebox; needs -interarrival)")
+		farmPlace   = flag.String("farm-placement", "local", "cross-library hot-copy placement: local, spread, or mirror")
+		farmWorkers = flag.Int("farm-workers", 0, "goroutines simulating shards concurrently (0 = GOMAXPROCS; results identical at any value)")
+		farmTenants = flag.String("farm-tenants", "", "aggregated arrival classes as mean[:rh] pairs, e.g. '120:90,600:10' (empty = one class at -interarrival/-rh)")
 		format      = flag.String("format", "text", "output format: text or csv")
 		analytic    = flag.Bool("analytic", false, "also print the closed-form estimate (no-replication closed models)")
 		configPath  = flag.String("config", "", "load the full configuration from a JSON file (other workload flags are ignored)")
@@ -310,6 +389,21 @@ func run() int {
 		}
 		fmt.Println(string(out))
 		return 0
+	}
+
+	if *farmShards > 0 {
+		tenants, err := parseTenants(*farmTenants)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jukesim:", err)
+			return 1
+		}
+		return runFarm(tapejuke.FarmConfig{
+			Shards:    *farmShards,
+			Placement: tapejuke.FarmPlacement(*farmPlace),
+			Workers:   *farmWorkers,
+			Tenants:   tenants,
+			Base:      cfg,
+		}, *format)
 	}
 
 	res, err := tapejuke.Run(cfg)

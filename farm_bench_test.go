@@ -1,0 +1,47 @@
+package tapejuke
+
+import "testing"
+
+// farmBenchConfig is the BENCH_sched.json farm workload: four libraries
+// under spread placement with enough per-shard traffic that shard
+// simulation dominates the split pre-pass.
+func farmBenchConfig(workers int) FarmConfig {
+	return FarmConfig{
+		Shards:    4,
+		Placement: FarmSpread,
+		Workers:   workers,
+		Base: Config{
+			Replicas:            1,
+			HotPercent:          10,
+			ReadHotPercent:      60,
+			Algorithm:           EnvelopeMaxBandwidth,
+			MeanInterarrivalSec: 55,
+			HorizonSec:          2_000_000,
+			Seed:                1,
+		},
+	}
+}
+
+// benchFarm runs the farm to completion b.N times.
+func benchFarm(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fr, err := RunFarm(farmBenchConfig(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fr.TotalCompleted == 0 {
+			b.Fatal("empty farm run")
+		}
+	}
+}
+
+// BenchmarkFarmRun is the headline scale-out claim: one farm run with
+// per-shard goroutines (GOMAXPROCS workers). Compare against
+// BenchmarkFarmRunSequential on a multi-core box for the speedup; on a
+// 1-core container the two coincide by construction.
+func BenchmarkFarmRun(b *testing.B) { benchFarm(b, 0) }
+
+// BenchmarkFarmRunSequential runs the same farm on a single worker — the
+// sequential baseline for the scaling claim.
+func BenchmarkFarmRunSequential(b *testing.B) { benchFarm(b, 1) }

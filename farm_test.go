@@ -1,0 +1,216 @@
+package tapejuke
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// farmBase returns a small open-model library config exercising faults
+// and replication, defaulted like RunFarm will see it.
+func farmBase() Config {
+	return Config{
+		Tapes:               6,
+		Replicas:            1,
+		HotPercent:          10,
+		ReadHotPercent:      60,
+		DataMB:              19200, // 1200 blocks: partial fill so mirror placement can fit
+		Algorithm:           EnvelopeMaxBandwidth,
+		QueueLength:         0,
+		MeanInterarrivalSec: 300,
+		HorizonSec:          200_000,
+		Faults:              FaultConfig{TapeMTBFSec: 400_000, BadBlocksPerTape: 0.5},
+		Seed:                3,
+	}.WithDefaults()
+}
+
+// shardEventCollector returns a ShardObserver recording every shard's
+// event stream into evs (one slice per shard; shards run concurrently
+// but each appends only to its own slice).
+func shardEventCollector(n int) (func(int) Observer, [][]Event) {
+	evs := make([][]Event, n)
+	return func(shard int) Observer {
+		return ObserverFunc(func(e Event) {
+			evs[shard] = append(evs[shard], e)
+		})
+	}, evs
+}
+
+// TestFarmOneShardInert pins the farm layer's inertness at N=1: the event
+// stream and the Result must be identical to a plain Runner.Run of the
+// same configuration, for every placement policy.
+func TestFarmOneShardInert(t *testing.T) {
+	ref := farmBase()
+	var refEvents []Event
+	ref.Observer = ObserverFunc(func(e Event) { refEvents = append(refEvents, e) })
+	want, err := NewRunner().Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []FarmPlacement{FarmLocal, FarmSpread, FarmMirror, ""} {
+		obs, evs := shardEventCollector(1)
+		fr, err := RunFarm(FarmConfig{
+			Shards:        1,
+			Placement:     pol,
+			Base:          farmBase(),
+			ShardObserver: obs,
+		})
+		if err != nil {
+			t.Fatalf("placement %q: %v", pol, err)
+		}
+		if !reflect.DeepEqual(fr.Shards[0], want) {
+			t.Errorf("placement %q: 1-shard farm Result differs from Runner.Run", pol)
+		}
+		if len(evs[0]) != len(refEvents) {
+			t.Fatalf("placement %q: %d events vs %d from plain run", pol, len(evs[0]), len(refEvents))
+		}
+		for i := range evs[0] {
+			if evs[0][i] != refEvents[i] {
+				t.Fatalf("placement %q: event %d differs: %+v vs %+v", pol, i, evs[0][i], refEvents[i])
+			}
+		}
+		if fr.TotalArrivals != want.TotalArrivals || fr.ThroughputKBps != want.ThroughputKBps {
+			t.Errorf("placement %q: aggregate rollup differs from the single shard", pol)
+		}
+	}
+}
+
+// TestFarmDeterministicAcrossWorkers pins the headline determinism claim:
+// per-shard event streams and the merged result are byte-identical at
+// worker counts 1, 4, and GOMAXPROCS.
+func TestFarmDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) (*FarmResult, [][]Event) {
+		obs, evs := shardEventCollector(4)
+		fr, err := RunFarm(FarmConfig{
+			Shards:        4,
+			Placement:     FarmSpread,
+			Workers:       workers,
+			Base:          farmBase(),
+			ShardObserver: obs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fr, evs
+	}
+	refRes, refEvs := run(1)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		res, evs := run(w)
+		// The observer funcs differ by identity; compare everything else.
+		if !reflect.DeepEqual(res, refRes) {
+			t.Errorf("workers=%d: merged FarmResult differs from workers=1", w)
+		}
+		for s := range evs {
+			if len(evs[s]) != len(refEvs[s]) {
+				t.Fatalf("workers=%d shard %d: %d events vs %d", w, s, len(evs[s]), len(refEvs[s]))
+			}
+			for i := range evs[s] {
+				if evs[s][i] != refEvs[s][i] {
+					t.Fatalf("workers=%d shard %d: event %d differs", w, s, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFarmConservation checks the aggregate ledger: every minted arrival
+// is completed, expired, shed, abandoned unserviceable, or still
+// outstanding; and the router's trace covers at least the minted count
+// (arrivals routed but still behind an op in flight at the horizon are
+// never minted by the shard engine).
+func TestFarmConservation(t *testing.T) {
+	for _, pol := range []FarmPlacement{FarmLocal, FarmSpread, FarmMirror} {
+		fr, err := RunFarm(FarmConfig{Shards: 3, Placement: pol, Base: farmBase()})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if fr.TotalArrivals == 0 {
+			t.Fatalf("%s: empty farm run", pol)
+		}
+		sum := fr.TotalCompleted + fr.Expired + fr.Shed + fr.Unserviceable + fr.Outstanding
+		if sum != fr.TotalArrivals {
+			t.Errorf("%s: conservation violated: %d arrivals vs %d accounted", pol, fr.TotalArrivals, sum)
+		}
+		if fr.Outstanding < 0 {
+			t.Errorf("%s: negative outstanding %d", pol, fr.Outstanding)
+		}
+		var routed, minted int64
+		for s, r := range fr.Shards {
+			routed += fr.Routed[s]
+			minted += r.TotalArrivals
+			if r.TotalArrivals > fr.Routed[s] {
+				t.Errorf("%s shard %d: minted %d > routed %d", pol, s, r.TotalArrivals, fr.Routed[s])
+			}
+		}
+		if minted != fr.TotalArrivals {
+			t.Errorf("%s: shard mint sum %d != aggregate %d", pol, minted, fr.TotalArrivals)
+		}
+		if fr.RequestImbalance < 1 || fr.QueueImbalance < 1 {
+			t.Errorf("%s: impossible imbalance (req %v, queue %v)", pol, fr.RequestImbalance, fr.QueueImbalance)
+		}
+	}
+}
+
+// TestFarmValidation exercises the farm-specific rejections.
+func TestFarmValidation(t *testing.T) {
+	reject := func(name, wantSub string, fc FarmConfig) {
+		t.Helper()
+		if _, err := RunFarm(fc); err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s: got %v, want error containing %q", name, err, wantSub)
+		}
+	}
+	closed := farmBase()
+	closed.QueueLength, closed.MeanInterarrivalSec = 60, 0
+	reject("closed model", "open-model", FarmConfig{Shards: 2, Base: closed})
+
+	writes := farmBase()
+	writes.Writes.MeanInterarrivalSec = 500
+	reject("writes", "write extension", FarmConfig{Shards: 2, Base: writes})
+
+	zipf := farmBase()
+	zipf.ZipfS = 1.2
+	reject("zipf", "two-class", FarmConfig{Shards: 2, Base: zipf})
+
+	obs := farmBase()
+	obs.Observer = ObserverFunc(func(Event) {})
+	reject("shared observer", "ShardObserver", FarmConfig{Shards: 2, Base: obs})
+
+	reject("zero shards", "at least one shard", FarmConfig{Shards: 0, Base: farmBase()})
+	reject("bad placement", "unknown farm placement", FarmConfig{Shards: 2, Placement: "ring", Base: farmBase()})
+
+	thin := farmBase()
+	thin.Replicas = 3
+	reject("spread needs shards", "spread placement", FarmConfig{Shards: 2, Placement: FarmSpread, Base: thin})
+
+	tenant := FarmConfig{Shards: 2, Base: farmBase(),
+		Tenants: []TenantClass{{Name: "bad", MeanInterarrivalSec: 0}}}
+	reject("tenant rate", "positive mean", tenant)
+
+	full := farmBase()
+	full.DataMB = 0 // filled to capacity: no room to mirror the hot set N times
+	reject("mirror overflow", "does not fit", FarmConfig{Shards: 3, Placement: FarmMirror, Base: full})
+}
+
+// TestFarmTenantsAggregate checks multi-tenant aggregation: two classes
+// at mean gaps m produce roughly the summed rate, and tenant skew shifts
+// hot traffic.
+func TestFarmTenantsAggregate(t *testing.T) {
+	base := farmBase()
+	fr, err := RunFarm(FarmConfig{
+		Shards: 2,
+		Base:   base,
+		Tenants: []TenantClass{
+			{Name: "interactive", MeanInterarrivalSec: 400, ReadHotPercent: 90},
+			{Name: "batch", MeanInterarrivalSec: 400, ReadHotPercent: 5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two tenants at mean 400 over 200k s ≈ 1000 arrivals total; allow
+	// generous Poisson slack.
+	if fr.TotalArrivals < 700 || fr.TotalArrivals > 1300 {
+		t.Errorf("aggregated arrivals = %d, want ≈1000", fr.TotalArrivals)
+	}
+}

@@ -10,6 +10,7 @@ package farm
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ExpansionFactor returns E = 1 + NR*PH/100 (Figure 10a): the storage
@@ -29,7 +30,7 @@ func ScaledQueueLength(base int, e float64) (int, error) {
 	if e < 1 {
 		return 0, fmt.Errorf("farm: expansion factor %v below 1", e)
 	}
-	q := int(float64(base)/e + 0.5)
+	q := int(math.Round(float64(base) / e))
 	if q < 1 {
 		q = 1
 	}

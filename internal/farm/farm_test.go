@@ -26,14 +26,31 @@ func TestExpansionFactor(t *testing.T) {
 }
 
 func TestScaledQueueLength(t *testing.T) {
-	if q, err := ScaledQueueLength(60, 1.9); err != nil || q != 32 {
-		t.Errorf("60/1.9 -> %d (%v), want 32", q, err)
+	cases := []struct {
+		name string
+		base int
+		e    float64
+		want int
+	}{
+		{"paper 60 over 1.9", 60, 1.9, 32},
+		{"no expansion", 60, 1, 60},
+		{"rounds up at half", 3, 2, 2},      // 1.5 -> 2 under round-half-away
+		{"rounds down below half", 7, 5, 1}, // 1.4 -> 1
+		// The clamp-to-1 edge: base/E < 0.5 would round to zero processes,
+		// which a closed queue cannot have. The old int(x+0.5) cast happened
+		// to truncate 0.9999 to 0 before the clamp rescued it; math.Round
+		// makes the zero explicit and the clamp intentional.
+		{"clamp tiny quotient", 1, 10, 1},      // 0.1 -> round 0 -> clamp 1
+		{"clamp just below half", 4, 9, 1},     // 0.444 -> round 0 -> clamp 1
+		{"half quotient rounds to 1", 1, 2, 1}, // 0.5 -> round 1, no clamp needed
+		{"clamp huge expansion", 2, 1e6, 1},
 	}
-	if q, err := ScaledQueueLength(60, 1); err != nil || q != 60 {
-		t.Errorf("60/1 -> %d (%v), want 60", q, err)
-	}
-	if q, err := ScaledQueueLength(1, 10); err != nil || q != 1 {
-		t.Errorf("1/10 -> %d (%v), want floor of 1", q, err)
+	for _, c := range cases {
+		q, err := ScaledQueueLength(c.base, c.e)
+		if err != nil || q != c.want {
+			t.Errorf("%s: ScaledQueueLength(%d, %v) = %d (%v), want %d",
+				c.name, c.base, c.e, q, err, c.want)
+		}
 	}
 	if _, err := ScaledQueueLength(0, 1.5); err == nil {
 		t.Error("zero base accepted")

@@ -1,0 +1,186 @@
+package farm
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"tapejuke/internal/workload"
+)
+
+// splitCfg builds a small three-tenant split over four shards.
+func splitCfg(t *testing.T, policy Policy, copies int) SplitConfig {
+	t.Helper()
+	mk := func(mean float64, seed int64) workload.Arrivals {
+		a, err := workload.NewPoissonArrivals(mean, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	return SplitConfig{
+		Shards:    4,
+		Policy:    policy,
+		Copies:    copies,
+		FarmHot:   160,
+		FarmCold:  1440,
+		LocalHot:  40,
+		LocalCold: 360,
+		Horizon:   50_000,
+		Tenants: []Tenant{
+			{Arrivals: mk(120, 11), HotFrac: 0.8},
+			{Arrivals: mk(300, 12), HotFrac: 0.4},
+			{Arrivals: mk(600, 13), HotFrac: 0.1},
+		},
+		Seed: 7,
+	}
+}
+
+func TestSplitDeterministicAndConserving(t *testing.T) {
+	for _, pol := range []Policy{PlaceLocal, PlaceSpread, PlaceMirror} {
+		a, err := Split(splitCfg(t, pol, 2))
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		b, err := Split(splitCfg(t, pol, 2))
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: split is not deterministic", pol)
+		}
+		var sum int64
+		for s, tr := range a.Traces {
+			if len(tr.Times) != len(tr.Blocks) {
+				t.Fatalf("%v shard %d: %d times vs %d blocks", pol, s, len(tr.Times), len(tr.Blocks))
+			}
+			if int64(len(tr.Times)) != a.Routed[s] {
+				t.Errorf("%v shard %d: routed %d != trace length %d", pol, s, a.Routed[s], len(tr.Times))
+			}
+			last := 0.0
+			for _, at := range tr.Times {
+				if at < last || at >= 50_000 {
+					t.Fatalf("%v shard %d: arrival %v out of order or past horizon", pol, s, at)
+				}
+				last = at
+			}
+			for _, b := range tr.Blocks {
+				if b < 0 || int(b) >= 400 {
+					t.Fatalf("%v shard %d: local block %d out of range", pol, s, b)
+				}
+			}
+			sum += a.Routed[s]
+		}
+		if sum != a.Total || a.Total == 0 {
+			t.Errorf("%v: routed sum %d != total %d (or empty)", pol, sum, a.Total)
+		}
+	}
+}
+
+// TestSplitKeyStreamInvariant pins that the placement policy changes only
+// *where* requests go, not the workload itself: total request count and
+// the multiset of arrival times match across policies.
+func TestSplitKeyStreamInvariant(t *testing.T) {
+	local, err := Split(splitCfg(t, PlaceLocal, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := Split(splitCfg(t, PlaceSpread, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Total != spread.Total {
+		t.Fatalf("policy changed the workload: %d vs %d requests", local.Total, spread.Total)
+	}
+	sumTimes := func(r *SplitResult) float64 {
+		var s float64
+		for _, tr := range r.Traces {
+			for _, at := range tr.Times {
+				s += at
+			}
+		}
+		return s
+	}
+	if math.Abs(sumTimes(local)-sumTimes(spread)) > 1e-6 {
+		t.Error("policy perturbed the arrival time stream")
+	}
+}
+
+// TestSplitFailover kills every hot copy on shard-of-first-preference for
+// all blocks at time zero on one shard and checks requests fail over off
+// it under spread placement, while local placement keeps routing to it
+// (no cross-library copies to fail over to).
+func TestSplitFailover(t *testing.T) {
+	cfg := splitCfg(t, PlaceSpread, 2)
+	dead := make([][]float64, cfg.Shards)
+	alive := make([]float64, cfg.LocalHot)
+	gone := make([]float64, cfg.LocalHot)
+	for i := range alive {
+		alive[i] = math.Inf(1)
+	}
+	// gone[i] == 0: every copy on shard 2 is dead from the start.
+	for s := range dead {
+		if s == 2 {
+			dead[s] = gone
+		} else {
+			dead[s] = alive
+		}
+	}
+	cfg.HotDeadAt = dead
+	res, err := Split(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedOver == 0 {
+		t.Error("spread placement with a dead shard should fail over")
+	}
+	// Shard 2 must still receive its cold share but no hot requests.
+	for i, b := range res.Traces[2].Blocks {
+		if int(b) < cfg.LocalHot {
+			t.Fatalf("request %d: hot block %d routed to a shard with no live hot copies", i, b)
+		}
+	}
+
+	// The same fault projection under local placement keeps hot load on
+	// shard 2: per-library replication has nowhere to fail over.
+	lc := splitCfg(t, PlaceLocal, 0)
+	lc.HotDeadAt = dead
+	lres, err := Split(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.FailedOver != 0 {
+		t.Error("local placement cannot fail over but counted failovers")
+	}
+	hotOn2 := false
+	for _, b := range lres.Traces[2].Blocks {
+		if int(b) < lc.LocalHot {
+			hotOn2 = true
+			break
+		}
+	}
+	if !hotOn2 {
+		t.Error("local placement should keep routing hot requests to the dead shard")
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	bad := func(name string, mut func(*SplitConfig)) {
+		cfg := splitCfg(t, PlaceSpread, 1)
+		mut(&cfg)
+		if _, err := Split(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	bad("zero shards", func(c *SplitConfig) { c.Shards = 0 })
+	bad("no tenants", func(c *SplitConfig) { c.Tenants = nil })
+	bad("closed tenant", func(c *SplitConfig) {
+		c.Tenants[0].Arrivals = workload.ClosedArrivals{QueueLength: 5}
+	})
+	bad("hot frac out of range", func(c *SplitConfig) { c.Tenants[0].HotFrac = 1.5 })
+	bad("empty universe", func(c *SplitConfig) { c.FarmHot, c.FarmCold = 0, 0 })
+	bad("more copies than shards", func(c *SplitConfig) { c.Copies = 4 })
+	bad("no local hot storage", func(c *SplitConfig) { c.LocalHot = 0 })
+	bad("zero horizon", func(c *SplitConfig) { c.Horizon = 0 })
+	bad("short dead table", func(c *SplitConfig) { c.HotDeadAt = make([][]float64, 2) })
+}

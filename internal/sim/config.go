@@ -14,6 +14,7 @@ import (
 	"tapejuke/internal/layout"
 	"tapejuke/internal/sched"
 	"tapejuke/internal/tapemodel"
+	"tapejuke/internal/workload"
 )
 
 // Config fully describes one simulation run.
@@ -60,6 +61,18 @@ type Config struct {
 	// model with Poisson arrivals. Exactly one must be set.
 	QueueLength      int
 	MeanInterarrival float64
+
+	// Arrivals, when non-nil, replaces the arrival process the engine
+	// would otherwise derive from QueueLength/MeanInterarrival (those
+	// still validate and describe the nominal load). The farm front end
+	// uses it to hand each library shard its routed sub-stream as a
+	// replayed trace.
+	Arrivals workload.Arrivals
+	// Source, when non-nil, replaces the skewed block generator: the
+	// engine draws every requested block from it instead of building a
+	// hot/cold (or Zipf) generator. Paired with Arrivals by the farm so
+	// the router, not the shard, decides which blocks are asked for.
+	Source workload.Source
 
 	// Scheduler services the requests. The instance may be stateful and
 	// must be fresh for each run.
@@ -262,6 +275,36 @@ type DegradeConfig struct {
 
 // Enabled reports whether degradation is on.
 func (d DegradeConfig) Enabled() bool { return d.QueueThreshold > 0 }
+
+// LayoutConfig returns the layout configuration the engine will build for
+// c, plus the per-tape data capacity in blocks (tape capacity minus any
+// write reserve). It applies the same write-reserve defaulting the engine
+// does, so external pre-passes — the farm's placement planner and its
+// per-shard fault projection — see exactly the geometry a run of c will
+// simulate.
+func (c Config) LayoutConfig() (layout.Config, int, error) {
+	if c.WriteMeanInterarrival > 0 && c.WriteReserveMB == 0 {
+		c.WriteReserveMB = 256
+	}
+	dataCapMB := c.TapeCapMB
+	if c.WriteMeanInterarrival > 0 {
+		dataCapMB -= c.WriteReserveMB
+		if dataCapMB < c.BlockMB || c.WriteReserveMB < c.BlockMB {
+			return layout.Config{}, 0, fmt.Errorf("sim: write reserve %v MB leaves no room for data or deltas", c.WriteReserveMB)
+		}
+	}
+	capBlocks := int(dataCapMB / c.BlockMB)
+	return layout.Config{
+		Tapes:         c.Tapes,
+		TapeCapBlocks: capBlocks,
+		HotPercent:    c.HotPercent,
+		Replicas:      c.Replicas,
+		Kind:          c.Kind,
+		StartPos:      c.StartPos,
+		DataBlocks:    c.DataBlocks,
+		PackAfterData: c.PackAfterData,
+	}, capBlocks, nil
+}
 
 // Validate reports the first configuration error, applying no defaults.
 func (c *Config) Validate() error {

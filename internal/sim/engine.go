@@ -104,26 +104,11 @@ func newEngine(cfg Config, sess *Session) (*engine, error) {
 	if cfg.WriteMeanInterarrival > 0 && cfg.WriteReserveMB == 0 {
 		cfg.WriteReserveMB = 256
 	}
-	dataCapMB := cfg.TapeCapMB
-	if cfg.WriteMeanInterarrival > 0 {
-		dataCapMB -= cfg.WriteReserveMB
-		if dataCapMB < cfg.BlockMB || cfg.WriteReserveMB < cfg.BlockMB {
-			return nil, fmt.Errorf("sim: write reserve %v MB leaves no room for data or deltas", cfg.WriteReserveMB)
-		}
-	}
-	capBlocks := int(dataCapMB / cfg.BlockMB)
-	layCfg := layout.Config{
-		Tapes:         cfg.Tapes,
-		TapeCapBlocks: capBlocks,
-		HotPercent:    cfg.HotPercent,
-		Replicas:      cfg.Replicas,
-		Kind:          cfg.Kind,
-		StartPos:      cfg.StartPos,
-		DataBlocks:    cfg.DataBlocks,
-		PackAfterData: cfg.PackAfterData,
+	layCfg, capBlocks, err := cfg.LayoutConfig()
+	if err != nil {
+		return nil, err
 	}
 	var lay *layout.Layout
-	var err error
 	if sess != nil && !cfg.Repair.Enabled() {
 		lay, err = sess.cachedLayout(layCfg)
 	} else {
@@ -135,7 +120,9 @@ func newEngine(cfg Config, sess *Session) (*engine, error) {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	var gen workload.Source
-	if cfg.ZipfS > 0 {
+	if cfg.Source != nil {
+		gen = cfg.Source
+	} else if cfg.ZipfS > 0 {
 		zg, err := workload.NewZipfGeneratorRand(lay, cfg.ZipfS, sess.genRng(cfg.Seed))
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
@@ -151,9 +138,11 @@ func newEngine(cfg Config, sess *Session) (*engine, error) {
 		}
 		gen = hg
 	}
-	arr, err := newArrivals(&cfg, sess)
-	if err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+	arr := cfg.Arrivals
+	if arr == nil {
+		if arr, err = newArrivals(&cfg, sess); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
 	}
 	nd := cfg.Drives
 	if nd < 1 {

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"tapejuke/internal/layout"
+)
+
+// TraceArrivals replays a fixed schedule of arrival times. The farm
+// front end routes an aggregated open-model stream across libraries and
+// hands each shard its sub-stream as a trace; the shard's engine then
+// sees exactly the arrivals the router sent it, in order. An exhausted
+// trace behaves like a source that has gone quiet (+Inf), which is also
+// how the engine learns an open model has no further arrivals before the
+// horizon.
+type TraceArrivals struct {
+	times []float64
+	i     int
+}
+
+// NewTraceArrivals wraps a non-decreasing schedule of arrival times. The
+// slice is retained, not copied.
+func NewTraceArrivals(times []float64) *TraceArrivals {
+	return &TraceArrivals{times: times}
+}
+
+// Closed reports false: a trace is an open (externally clocked) stream.
+func (t *TraceArrivals) Closed() bool { return false }
+
+// InitialCount returns 0: traced arrivals all carry explicit times.
+func (t *TraceArrivals) InitialCount() int { return 0 }
+
+// Next returns the next traced arrival time, or +Inf once exhausted.
+func (t *TraceArrivals) Next() float64 {
+	if t.i >= len(t.times) {
+		return math.Inf(1)
+	}
+	v := t.times[t.i]
+	t.i++
+	return v
+}
+
+// TraceSource replays a fixed sequence of requested blocks, one per
+// traced arrival. It satisfies the same Source contract as Generator, so
+// the engine's reservoir sampling can keep drawing from Rand() without
+// perturbing the block sequence — the farm's whole point is that the
+// router, not the shard, already chose the blocks.
+type TraceSource struct {
+	blocks []layout.BlockID
+	i      int
+	rng    *rand.Rand
+}
+
+// NewTraceSource wraps a block sequence (retained, not copied). seed
+// feeds the auxiliary Rand() stream only; block identity never depends
+// on it.
+func NewTraceSource(blocks []layout.BlockID, seed int64) *TraceSource {
+	return &TraceSource{blocks: blocks, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next traced block. Panics if drawn past the trace:
+// the farm mints exactly one block per traced arrival, so exhaustion
+// means the trace and arrival streams disagree — a bug, not a workload.
+func (t *TraceSource) Next() layout.BlockID {
+	if t.i >= len(t.blocks) {
+		panic("workload: trace source exhausted (more requests minted than traced arrivals)")
+	}
+	b := t.blocks[t.i]
+	t.i++
+	return b
+}
+
+// Rand exposes the auxiliary stream shared with reservoir sampling.
+func (t *TraceSource) Rand() *rand.Rand { return t.rng }

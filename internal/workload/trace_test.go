@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"tapejuke/internal/layout"
+)
+
+func TestTraceArrivalsReplay(t *testing.T) {
+	tr := NewTraceArrivals([]float64{1.5, 2, 7.25})
+	if tr.Closed() {
+		t.Error("trace arrivals reported closed")
+	}
+	if tr.InitialCount() != 0 {
+		t.Error("trace arrivals reported nonzero initial count")
+	}
+	for _, want := range []float64{1.5, 2, 7.25} {
+		if got := tr.Next(); got != want {
+			t.Fatalf("Next() = %v, want %v", got, want)
+		}
+	}
+	if !math.IsInf(tr.Next(), 1) || !math.IsInf(tr.Next(), 1) {
+		t.Error("exhausted trace must keep returning +Inf")
+	}
+	if !math.IsInf(NewTraceArrivals(nil).Next(), 1) {
+		t.Error("empty trace must return +Inf immediately")
+	}
+}
+
+func TestTraceSourceReplay(t *testing.T) {
+	blocks := []layout.BlockID{4, 0, 9}
+	src := NewTraceSource(blocks, 42)
+	if src.Rand() == nil {
+		t.Fatal("trace source must expose an auxiliary Rand stream")
+	}
+	// Draining the auxiliary stream must not perturb block identity.
+	src.Rand().Int63n(100)
+	for _, want := range blocks {
+		if got := src.Next(); got != want {
+			t.Fatalf("Next() = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("drawing past the trace must panic")
+		}
+	}()
+	src.Next()
+}

@@ -30,6 +30,19 @@ func NewRunner() *Runner { return &Runner{sess: sim.NewSession()} }
 // Run simulates the configuration and returns its metrics, reusing the
 // Runner's cached state where the configuration allows.
 func (r *Runner) Run(c Config) (*Result, error) {
+	sc, err := r.prepare(c)
+	if err != nil {
+		return nil, err
+	}
+	return r.sess.Run(*sc)
+}
+
+// prepare translates c into the internal configuration and applies the
+// Runner's reuse policies (profile pinning, scheduler recycling) without
+// starting the run. The farm front end uses the split so it can inject a
+// shard's routed trace streams into the prepared configuration and then
+// run it on this Runner's session.
+func (r *Runner) prepare(c Config) (*sim.Config, error) {
 	sc, err := c.toSim()
 	if err != nil {
 		return nil, err
@@ -67,7 +80,7 @@ func (r *Runner) Run(c Config) (*Result, error) {
 			r.scheds[alg] = sc.Scheduler
 		}
 	}
-	return r.sess.Run(*sc)
+	return sc, nil
 }
 
 // schedulerReusable reports whether a scheduler instance may serve another

@@ -20,7 +20,7 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkFullRun|BenchmarkAblationEnvelopeMaxBandwidthRepl|BenchmarkAblationDynamicMaxBandwidthRepl|BenchmarkAblationTwoDrives|BenchmarkSimulationDefault' \
+    -bench 'BenchmarkFullRun|BenchmarkAblationEnvelopeMaxBandwidthRepl|BenchmarkAblationDynamicMaxBandwidthRepl|BenchmarkAblationTwoDrives|BenchmarkSimulationDefault|BenchmarkFarmRun' \
     -benchmem -benchtime 1s . | tee "$tmp"
 go test -run '^$' \
     -bench 'BenchmarkUpperEnvelope|BenchmarkEnvelopeReschedule|BenchmarkEnvelopeOnArrival' \
